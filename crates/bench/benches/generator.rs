@@ -1,0 +1,46 @@
+//! Benchmarks of the cluster simulator substrate: log generation and the
+//! textual round trip.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use recovery_simlog::{GeneratorConfig, LogGenerator, RecoveryLog};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator");
+    group.sample_size(10);
+    group.bench_function("generate_small_log", |b| {
+        b.iter(|| {
+            let generated = LogGenerator::new(GeneratorConfig::small()).generate();
+            std::hint::black_box(generated.log.len())
+        })
+    });
+    group.bench_function("split_processes", |b| {
+        let generated = LogGenerator::new(GeneratorConfig::small()).generate();
+        b.iter_batched(
+            || generated.log.clone(),
+            |mut log| std::hint::black_box(log.split_processes().len()),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_text_round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("log_text");
+    group.sample_size(10);
+    let mut generated = LogGenerator::new(GeneratorConfig::small()).generate();
+    let text = generated.log.to_text();
+    group.bench_function("serialize", |b| {
+        b.iter_batched(
+            || generated.log.clone(),
+            |mut log| std::hint::black_box(log.to_text().len()),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("parse", |b| {
+        b.iter(|| std::hint::black_box(RecoveryLog::from_text(&text).unwrap().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_text_round_trip);
+criterion_main!(benches);

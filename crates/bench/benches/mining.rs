@@ -1,0 +1,32 @@
+//! Benchmarks of the m-pattern mining substrate on a realistic symptom
+//! transaction database.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use recovery_core::error_type::NoiseFilter;
+use recovery_mpattern::MPatternMiner;
+use recovery_simlog::{GeneratorConfig, LogGenerator};
+
+fn bench_mining(c: &mut Criterion) {
+    let mut generated = LogGenerator::new(GeneratorConfig::small()).generate();
+    let processes = generated.log.split_processes();
+    let db = NoiseFilter::transaction_db(&processes);
+    let mut group = c.benchmark_group("mpattern");
+    group.sample_size(10);
+    group.bench_function("mine_maximal_minp_0.1", |b| {
+        b.iter(|| std::hint::black_box(MPatternMiner::new(0.1).mine_maximal(&db).len()))
+    });
+    group.bench_function("cohesive_fraction_minp_0.1", |b| {
+        b.iter(|| std::hint::black_box(db.cohesive_fraction(0.1)))
+    });
+    group.bench_function("noise_filter_partition", |b| {
+        b.iter_batched(
+            || processes.clone(),
+            |p| std::hint::black_box(NoiseFilter::default().partition(p).clean.len()),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mining);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Benchmarks of the simulation platform: single-attempt estimation and
+//! full-policy replay over a test set (the inner loop of both training
+//! and evaluation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use recovery_core::evaluate::{evaluate, time_ordered_split};
+use recovery_core::experiment::ExperimentContext;
+use recovery_core::platform::{CostEstimation, SimulationPlatform};
+use recovery_core::policy::UserStatePolicy;
+use recovery_simlog::{GeneratorConfig, LogGenerator, RepairAction};
+
+fn bench_platform(c: &mut Criterion) {
+    let mut generated = LogGenerator::new(GeneratorConfig::small()).generate();
+    let processes = generated.log.split_processes();
+    let ctx = ExperimentContext::prepare(processes, 0.1, 8);
+    let (train, test) = time_ordered_split(&ctx.clean, 0.4);
+    let platform = SimulationPlatform::from_processes(train, CostEstimation::PreferActual);
+    let avg_platform = platform.with_estimation(CostEstimation::AverageOnly);
+    let user = UserStatePolicy::default();
+
+    let mut group = c.benchmark_group("platform");
+    group.sample_size(20);
+    group.bench_function("build_cost_model", |b| {
+        b.iter(|| {
+            std::hint::black_box(SimulationPlatform::from_processes(
+                train,
+                CostEstimation::PreferActual,
+            ))
+        })
+    });
+    group.bench_function("single_attempt", |b| {
+        let truth = &test[0];
+        b.iter(|| std::hint::black_box(platform.attempt(truth, RepairAction::Reboot, 0).cost))
+    });
+    group.bench_function("replay_user_policy_over_test_set", |b| {
+        b.iter(|| {
+            let total: f64 = test
+                .iter()
+                .map(|p| platform.replay(p, &user, 20).total_cost())
+                .sum();
+            std::hint::black_box(total)
+        })
+    });
+    group.bench_function("evaluate_report", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                evaluate(&user, &avg_platform, test, &ctx.types, 20).overall_relative_cost(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_platform);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Benchmarks of the training pipelines: standard tabular Q-learning
+//! (improved and paper-faithful), the selection-tree accelerator, and the
+//! linear-approximation extension — the ablation data for the design
+//! choices called out in `DESIGN.md`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use recovery_core::approx::{train_linear, LinearConfig};
+use recovery_core::error_type::ErrorType;
+use recovery_core::evaluate::time_ordered_split;
+use recovery_core::experiment::ExperimentContext;
+use recovery_core::selection_tree::{SelectionTreeConfig, SelectionTreeTrainer};
+use recovery_core::trainer::{OfflineTrainer, TrainerConfig};
+use recovery_simlog::{GeneratorConfig, LogGenerator, RecoveryProcess};
+
+struct Workload {
+    train: Vec<RecoveryProcess>,
+    top_type: ErrorType,
+}
+
+fn workload() -> Workload {
+    let mut generated = LogGenerator::new(GeneratorConfig::small()).generate();
+    let processes = generated.log.split_processes();
+    let ctx = ExperimentContext::prepare(processes, 0.1, 8);
+    let (train, _) = time_ordered_split(&ctx.clean, 0.4);
+    Workload {
+        train: train.to_vec(),
+        top_type: ctx.types[0],
+    }
+}
+
+fn capped(mut config: TrainerConfig, sweeps: u64) -> TrainerConfig {
+    config.learning.max_episodes = sweeps;
+    config
+}
+
+fn bench_training(c: &mut Criterion) {
+    let w = workload();
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+
+    group.bench_function("tabular_2k_sweeps", |b| {
+        let trainer = OfflineTrainer::new(&w.train, capped(TrainerConfig::fast(), 2_000));
+        b.iter(|| std::hint::black_box(trainer.train_type(w.top_type).unwrap().1.sweeps))
+    });
+
+    // Ablation: the paper-faithful learner (forward updates, no pruning)
+    // runs the same sweep budget; the interesting difference is policy
+    // quality per sweep, measured by the fig13 binary — here we measure
+    // raw sweep throughput.
+    group.bench_function("ablation_paper_faithful_2k_sweeps", |b| {
+        let trainer = OfflineTrainer::new(&w.train, capped(TrainerConfig::paper_faithful(), 2_000));
+        b.iter(|| std::hint::black_box(trainer.train_type(w.top_type).unwrap().1.sweeps))
+    });
+
+    group.bench_function("selection_tree", |b| {
+        let trainer = OfflineTrainer::new(&w.train, TrainerConfig::fast());
+        let tree = SelectionTreeTrainer::new(&trainer, SelectionTreeConfig::default());
+        b.iter(|| std::hint::black_box(tree.train_type(w.top_type).unwrap().stats.sweeps))
+    });
+
+    group.bench_function("linear_approximation_2k_episodes", |b| {
+        let trainer = OfflineTrainer::new(&w.train, TrainerConfig::fast());
+        let config = LinearConfig {
+            episodes: 2_000,
+            ..LinearConfig::default()
+        };
+        b.iter(|| std::hint::black_box(train_linear(&trainer, w.top_type, &config).is_some()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Ablation study of the training-pipeline design choices called out in
+//! `DESIGN.md` §8.3: for each variant, how close does the learned policy
+//! get to the exact per-type optimum, and how many sweeps does it spend?
+//!
+//! Variants:
+//!
+//! * `improved`        — the default learner (backward updates,
+//!   explored-only backups, H2 pruning, two-phase course);
+//! * `forward`         — backward updates disabled;
+//! * `phantom-backup`  — explored-only backups disabled;
+//! * `unpruned`        — H2 action pruning disabled;
+//! * `paper-faithful`  — all three disabled (the literal Figure 2);
+//! * `seeded`          — the default learner initialized from the user
+//!   ladder (the paper's §7 "designing initial policies");
+//! * `double-q`        — double Q-learning on the *unpruned* environment
+//!   (does decoupled evaluation rescue the hardest setting?);
+//! * `selection-tree`  — the paper's §5.3 accelerator.
+
+use recovery_core::error_type::ErrorType;
+use recovery_core::evaluate::time_ordered_split;
+use recovery_core::exact::EmpiricalTypeModel;
+use recovery_core::policy::TrainedPolicy;
+use recovery_core::selection_tree::{SelectionTreeConfig, SelectionTreeTrainer};
+use recovery_core::trainer::{OfflineTrainer, TrainerConfig};
+
+const SWEEP_CAP: u64 = 20_000;
+
+fn capped(mut config: TrainerConfig) -> TrainerConfig {
+    config.learning.max_episodes = SWEEP_CAP;
+    config
+}
+
+/// One ablation arm: returns, per type, (policy cost / optimal cost) and
+/// sweeps spent.
+fn run_arm(
+    name: &str,
+    trainer: &OfflineTrainer<'_>,
+    types: &[ErrorType],
+    train_one: impl Fn(&OfflineTrainer<'_>, ErrorType) -> Option<(TrainedPolicy, u64)>,
+) -> Vec<String> {
+    let mut ratios = Vec::new();
+    let mut unhandled = 0usize;
+    let mut sweeps_total = 0u64;
+    for &et in types {
+        let Some((policy, sweeps)) = train_one(trainer, et) else {
+            continue;
+        };
+        sweeps_total += sweeps;
+        let processes = trainer.processes_of(et);
+        if processes.is_empty() {
+            continue;
+        }
+        let model = EmpiricalTypeModel::new(et, processes, trainer.platform());
+        let optimal = model.optimal(20).expected_cost.max(1.0);
+        match model.policy_cost(&policy, 20) {
+            Some(cost) => ratios.push(cost / optimal),
+            None => unhandled += 1,
+        }
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
+    let worst = ratios.iter().cloned().fold(1.0f64, f64::max);
+    vec![
+        name.to_owned(),
+        format!("{mean:.3}"),
+        format!("{worst:.3}"),
+        unhandled.to_string(),
+        sweeps_total.to_string(),
+    ]
+}
+
+fn single(trainer: &OfflineTrainer<'_>, et: ErrorType) -> Option<(TrainedPolicy, u64)> {
+    let (q, stats) = trainer.train_type(et)?;
+    Some((TrainedPolicy::new(q), stats.sweeps))
+}
+
+fn main() {
+    let scale = recovery_bench::scale_from_args(0.1);
+    let ctx = recovery_bench::prepare(scale);
+    let (train, _) = time_ordered_split(&ctx.clean, 0.4);
+    let types: Vec<ErrorType> = ctx.types.iter().copied().take(15).collect();
+    eprintln!("# ablating over the {} most frequent types", types.len());
+
+    let improved = OfflineTrainer::new(train, capped(TrainerConfig::default()));
+
+    let mut forward_cfg = capped(TrainerConfig::default());
+    forward_cfg.learning.backward_updates = false;
+    let forward = OfflineTrainer::new(train, forward_cfg);
+
+    let mut phantom_cfg = capped(TrainerConfig::default());
+    phantom_cfg.learning.explored_backup = false;
+    let phantom = OfflineTrainer::new(train, phantom_cfg);
+
+    let mut unpruned_cfg = capped(TrainerConfig::default());
+    unpruned_cfg.prune_dominated = false;
+    let unpruned = OfflineTrainer::new(train, unpruned_cfg);
+
+    let faithful = OfflineTrainer::new(train, capped(TrainerConfig::paper_faithful()));
+
+    let mut rows = Vec::new();
+    rows.push(run_arm("improved", &improved, &types, single));
+    rows.push(run_arm("seeded", &improved, &types, |t, et| {
+        let (q, stats) = t.train_type_seeded(et)?;
+        Some((TrainedPolicy::new(q), stats.sweeps))
+    }));
+    rows.push(run_arm("selection-tree", &improved, &types, |t, et| {
+        let tree = SelectionTreeTrainer::new(t, SelectionTreeConfig::default());
+        let outcome = tree.train_type(et)?;
+        Some((TrainedPolicy::new(outcome.q), outcome.stats.sweeps))
+    }));
+    rows.push(run_arm("forward", &forward, &types, single));
+    rows.push(run_arm("phantom-backup", &phantom, &types, single));
+    rows.push(run_arm("unpruned", &unpruned, &types, single));
+    rows.push(run_arm("unpruned+double-q", &unpruned, &types, |t, et| {
+        let (q, stats) = t.train_type_double(et)?;
+        Some((TrainedPolicy::new(q), stats.sweeps))
+    }));
+    rows.push(run_arm("paper-faithful", &faithful, &types, single));
+
+    recovery_bench::print_table(
+        &format!("Ablation: policy cost vs exact optimum (sweep cap {SWEEP_CAP} per type)"),
+        &[
+            "variant",
+            "mean_ratio",
+            "worst_ratio",
+            "unhandled",
+            "sweeps",
+        ],
+        &rows,
+    );
+    println!("ratio = learned policy's exact expected cost / DP optimum (1.0 is perfect).");
+    println!("'unhandled' = types whose learned policy has a gap on its own replay chain.");
+}

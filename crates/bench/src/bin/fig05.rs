@@ -1,0 +1,17 @@
+//! **Figure 5** — process count of the 40 most frequent error types.
+
+use recovery_core::experiment::{fig5_type_counts, ExperimentContext};
+
+fn main() {
+    let scale = recovery_bench::scale_from_args(0.25);
+    let ctx: ExperimentContext = recovery_bench::prepare(scale);
+    let rows: Vec<Vec<String>> = fig5_type_counts(&ctx)
+        .into_iter()
+        .map(|(rank, count)| vec![rank.to_string(), count.to_string()])
+        .collect();
+    recovery_bench::print_table(
+        "Figure 5: count of 40 most frequent error types",
+        &["type", "count"],
+        &rows,
+    );
+}

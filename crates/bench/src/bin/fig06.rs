@@ -1,0 +1,19 @@
+//! **Figure 6** — total downtime per error type under the user-defined
+//! policy (the log's generating policy); the paper plots this on a log
+//! scale, so the column spans several orders of magnitude.
+
+use recovery_core::experiment::{fig6_type_downtime, ExperimentContext};
+
+fn main() {
+    let scale = recovery_bench::scale_from_args(0.25);
+    let ctx: ExperimentContext = recovery_bench::prepare(scale);
+    let rows: Vec<Vec<String>> = fig6_type_downtime(&ctx)
+        .into_iter()
+        .map(|(rank, secs)| vec![rank.to_string(), format!("{secs:.0}")])
+        .collect();
+    recovery_bench::print_table(
+        "Figure 6: total downtime of 40 most frequent error types (seconds)",
+        &["type", "downtime_s"],
+        &rows,
+    );
+}

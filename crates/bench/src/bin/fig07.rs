@@ -1,0 +1,42 @@
+//! **Figure 7** — simulation-platform validation: replay the user-defined
+//! policy itself (platform built from the 40% training fraction,
+//! average-cost mode) and report the per-type estimated/actual cost ratio
+//! on the test fraction. The paper's claim: the biggest deviation stays
+//! under ≈5%, making later policy comparisons fair.
+
+use recovery_core::experiment::{fig7_platform_validation, ExperimentContext};
+
+fn main() {
+    let scale = recovery_bench::scale_from_args(1.0);
+    let ctx: ExperimentContext = recovery_bench::prepare(scale);
+    let report = fig7_platform_validation(&ctx, 0.4);
+    let rows: Vec<Vec<String>> = report
+        .per_type
+        .iter()
+        .map(|t| {
+            vec![
+                (t.rank + 1).to_string(),
+                t.processes.to_string(),
+                format!("{:.4}", t.relative_cost()),
+            ]
+        })
+        .collect();
+    recovery_bench::print_table(
+        "Figure 7: relative estimated cost of the user policy (platform validation)",
+        &["type", "n", "relative"],
+        &rows,
+    );
+    let worst = report
+        .per_type
+        .iter()
+        .map(|t| (t.relative_cost() - 1.0).abs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "overall relative cost: {:.4}",
+        report.overall_relative_cost()
+    );
+    println!(
+        "biggest per-type deviation: {:.2}% (paper: < 5%)",
+        100.0 * worst
+    );
+}

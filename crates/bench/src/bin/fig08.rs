@@ -1,0 +1,34 @@
+//! **Figure 8** — relative time cost of the RL-trained policy per error
+//! type, for the four training fractions (tests 1–4). Most types sit near
+//! 1.0; the deceptive types (the paper's 1, 35, 39) drop to roughly half.
+
+use recovery_core::experiment::TestRun;
+
+fn main() {
+    let scale = recovery_bench::scale_from_args(0.25);
+    let ctx = recovery_bench::prepare(scale);
+    let runs: Vec<TestRun> = recovery_bench::TEST_FRACTIONS
+        .iter()
+        .map(|&f| {
+            eprintln!("# training at fraction {f} ...");
+            TestRun::execute_in_context(&recovery_bench::figure_test_config(f), &ctx)
+        })
+        .collect();
+    let rows: Vec<Vec<String>> = (0..ctx.types.len())
+        .map(|i| {
+            let mut row = vec![(i + 1).to_string()];
+            for run in &runs {
+                row.push(format!(
+                    "{:.3}",
+                    run.trained_report.per_type[i].relative_cost()
+                ));
+            }
+            row
+        })
+        .collect();
+    recovery_bench::print_table(
+        "Figure 8: relative time cost of trained policy per type",
+        &["type", "0.2", "0.4", "0.6", "0.8"],
+        &rows,
+    );
+}

@@ -1,0 +1,15 @@
+//! **Table 1** — prints one example recovery process in the paper's
+//! `<time, description>` format (an escalation: symptom(s), TRYNOP,
+//! further symptoms, a stronger action, Success).
+
+use recovery_core::experiment::table1_example;
+
+fn main() {
+    let scale = recovery_bench::scale_from_args(0.02);
+    let mut generated = recovery_bench::generate(scale);
+    println!("== Table 1: example recovery process (machine name omitted) ==");
+    match table1_example(&mut generated.log, 2) {
+        Some(text) => print!("{text}"),
+        None => println!("(log contains no complete recovery process)"),
+    }
+}

@@ -1,0 +1,96 @@
+//! Minimal flag parsing for the `autorecover` CLI — positional arguments
+//! plus `--flag value` pairs, no external dependencies.
+
+use std::collections::HashMap;
+
+/// Parsed command line: positionals in order, flags by name.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses everything after the subcommand name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a `--flag` has no value.
+    pub fn parse<I: Iterator<Item = String>>(mut raw: I) -> Result<Self, String> {
+        let mut args = Args::default();
+        while let Some(a) = raw.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if let Some((k, v)) = name.split_once('=') {
+                    args.flags.insert(k.to_owned(), v.to_owned());
+                } else {
+                    let v = raw
+                        .next()
+                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    args.flags.insert(name.to_owned(), v);
+                }
+            } else {
+                args.positional.push(a);
+            }
+        }
+        Ok(args)
+    }
+
+    /// The `i`-th positional argument.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// A string flag.
+    pub fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// A parsed numeric/typed flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the flag is present but unparsable.
+    pub fn flag_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Args {
+        Args::parse(parts.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn positionals_and_flags_mix() {
+        let a = parse(&["log.txt", "--fraction", "0.4", "--method=tree", "more"]);
+        assert_eq!(a.positional(0), Some("log.txt"));
+        assert_eq!(a.positional(1), Some("more"));
+        assert_eq!(a.positional(2), None);
+        assert_eq!(a.flag("fraction"), Some("0.4"));
+        assert_eq!(a.flag("method"), Some("tree"));
+        assert_eq!(a.flag("nope"), None);
+    }
+
+    #[test]
+    fn typed_flags_with_defaults() {
+        let a = parse(&["--scale", "0.5"]);
+        assert_eq!(a.flag_or("scale", 1.0f64).unwrap(), 0.5);
+        assert_eq!(a.flag_or("seed", 7u64).unwrap(), 7);
+        assert!(a.flag_or::<f64>("scale", 1.0).is_ok());
+    }
+
+    #[test]
+    fn reports_missing_value_and_bad_parse() {
+        assert!(Args::parse(["--scale".to_string()].into_iter()).is_err());
+        let a = parse(&["--scale", "abc"]);
+        assert!(a.flag_or::<f64>("scale", 1.0).is_err());
+    }
+}

@@ -1,0 +1,410 @@
+//! Implementations of the `autorecover` subcommands.
+
+use std::fs;
+
+use recovery_core::error_type::NoiseFilter;
+use recovery_core::evaluate::{evaluate as evaluate_policy, time_ordered_split};
+use recovery_core::experiment::{fig3_cohesion_curve, ExperimentContext, TestRun, TestRunConfig};
+use recovery_core::persist::{policy_from_text, policy_to_text};
+use recovery_core::pipeline::{run_continuous_loop, ContinuousLoopConfig};
+use recovery_core::platform::{CostEstimation, SimulationPlatform};
+use recovery_core::policy::{HybridPolicy, LivePolicy, TrainedPolicy, UserStatePolicy};
+use recovery_core::selection_tree::{SelectionTreeConfig, SelectionTreeTrainer};
+use recovery_core::trainer::{OfflineTrainer, TrainerConfig};
+use recovery_mpattern::MPatternMiner;
+use recovery_simlog::{
+    availability, stats, ClusterSim, GeneratorConfig, LogGenerator, RecoveryLog, UserDefinedPolicy,
+};
+
+use crate::args::Args;
+
+/// `autorecover generate` — simulate and write a recovery log.
+pub fn generate(args: &Args) -> Result<(), String> {
+    let out = args.flag("out").ok_or("generate needs --out <file>")?;
+    let scale: f64 = args.flag_or("scale", 0.05)?;
+    if scale <= 0.0 {
+        return Err("--scale must be positive".into());
+    }
+    let seed: u64 = args.flag_or("seed", 0x2007_D50Au64)?;
+    eprintln!("generating synthetic cluster log (scale {scale}, seed {seed}) ...");
+    let config = GeneratorConfig::paper_scale(scale).with_seed(seed);
+    let mut generated = LogGenerator::new(config).generate();
+    let text = generated.log.to_text();
+    fs::write(out, &text).map_err(|e| format!("writing {out}: {e}"))?;
+    let processes = generated.log.split_processes();
+    println!(
+        "wrote {out}: {} entries, {} complete recovery processes, {} distinct symptoms",
+        generated.log.len(),
+        processes.len(),
+        generated.log.symptoms().len()
+    );
+    Ok(())
+}
+
+fn load_log(args: &Args) -> Result<RecoveryLog, String> {
+    let path = args.positional(0).ok_or("expected a log file argument")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    RecoveryLog::from_text(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// `autorecover inspect` — log statistics and the type ranking.
+pub fn inspect(args: &Args) -> Result<(), String> {
+    let mut log = load_log(args)?;
+    let top: usize = args.flag_or("top", 20usize)?;
+    let audit = log.audit();
+    let processes = log.split_processes();
+    let span = log.time_span();
+    println!("entries:   {}", log.len());
+    println!("symptoms:  {} distinct descriptions", log.symptoms().len());
+    println!("processes: {} complete recoveries", processes.len());
+    if let Some((a, b)) = span {
+        println!("span:      {a} .. {b}");
+    }
+    if !audit.is_clean() {
+        println!(
+            "audit:     {} stray actions, {} stray successes, {} unfinished processes (dropped)",
+            audit.stray_actions, audit.stray_successes, audit.unfinished_processes
+        );
+    }
+    println!("MTTR:      {}", stats::mttr(&processes));
+    println!("downtime:  {}", stats::total_downtime(&processes));
+    if let Some((a, b)) = span {
+        let report = availability(&processes, a, b);
+        println!(
+            "depend.:   availability {:.5} ({} nines), MTBF {} across {} machines",
+            report.availability,
+            report.nines(),
+            report.mtbf,
+            report.machines
+        );
+    }
+    println!();
+    println!(
+        "{:>4}  {:>7}  {:>12}  {:>10}  error type (initial symptom)",
+        "rank", "count", "downtime_s", "mttr"
+    );
+    for (i, s) in stats::by_initial_symptom(&processes)
+        .iter()
+        .take(top)
+        .enumerate()
+    {
+        println!(
+            "{:>4}  {:>7}  {:>12}  {:>10}  {}",
+            i + 1,
+            s.count,
+            s.total_downtime.as_secs(),
+            s.mttr().to_string(),
+            log.symptoms().name(s.symptom).unwrap_or("?")
+        );
+    }
+    Ok(())
+}
+
+/// `autorecover mine` — m-pattern cohesion analysis and clusters.
+pub fn mine(args: &Args) -> Result<(), String> {
+    let mut log = load_log(args)?;
+    let minp: f64 = args.flag_or("minp", 0.1f64)?;
+    if !(minp > 0.0 && minp <= 1.0) {
+        return Err("--minp must be in (0, 1]".into());
+    }
+    let processes = log.split_processes();
+    println!("symptom cohesion (fraction of processes with one mutually dependent set):");
+    for (m, f) in fig3_cohesion_curve(&processes) {
+        println!("  minp {m:.1}: {f:.4}");
+    }
+    let db = NoiseFilter::transaction_db(&processes);
+    let clusters = MPatternMiner::new(minp).clusters(&db);
+    println!("\n{} symptom clusters at minp {minp}:", clusters.len());
+    for (i, cluster) in clusters.iter().enumerate().take(50) {
+        let names: Vec<&str> = cluster
+            .iter()
+            .map(|&s| log.symptoms().name(s).unwrap_or("?"))
+            .collect();
+        println!("  {:>3}: {}", i + 1, names.join(", "));
+    }
+    if clusters.len() > 50 {
+        println!("  ... and {} more", clusters.len() - 50);
+    }
+    let outcome = NoiseFilter::new(minp).partition(processes);
+    println!(
+        "\nnoise filter: kept {:.2}% ({} clean, {} noisy)",
+        100.0 * outcome.kept_fraction(),
+        outcome.clean.len(),
+        outcome.noisy.len()
+    );
+    Ok(())
+}
+
+fn check_fraction(fraction: f64) -> Result<(), String> {
+    if fraction > 0.0 && fraction < 1.0 {
+        Ok(())
+    } else {
+        Err(format!(
+            "--fraction must be strictly between 0 and 1, got {fraction}"
+        ))
+    }
+}
+
+fn trainer_config(method: &str) -> Result<TrainerConfig, String> {
+    match method {
+        "standard" | "tree" => Ok(TrainerConfig::default()),
+        "faithful" => Ok(TrainerConfig::paper_faithful()),
+        other => Err(format!(
+            "unknown --method {other:?} (standard, tree, faithful)"
+        )),
+    }
+}
+
+/// `autorecover train` — offline policy generation.
+pub fn train(args: &Args) -> Result<(), String> {
+    let out = args.flag("out").ok_or("train needs --out <policy file>")?;
+    let mut log = load_log(args)?;
+    let fraction: f64 = args.flag_or("fraction", 0.4f64)?;
+    check_fraction(fraction)?;
+    let minp: f64 = args.flag_or("minp", 0.1f64)?;
+    let top_k: usize = args.flag_or("top", 40usize)?;
+    let method = args.flag("method").unwrap_or("standard").to_owned();
+
+    let processes = log.split_processes();
+    let ctx = ExperimentContext::prepare(processes, minp, top_k);
+    let (train_set, _) = time_ordered_split(&ctx.clean, fraction);
+    eprintln!(
+        "training on {} processes ({} error types, method {method}) ...",
+        train_set.len(),
+        ctx.types.len()
+    );
+    let trainer = OfflineTrainer::new(train_set, trainer_config(&method)?);
+    let (policy, train_stats) = if method == "tree" {
+        SelectionTreeTrainer::new(&trainer, SelectionTreeConfig::default()).train(&ctx.types)
+    } else {
+        trainer.train(&ctx.types)
+    };
+    let total_sweeps: u64 = train_stats.iter().map(|s| s.sweeps).sum();
+    let converged = train_stats.iter().filter(|s| s.converged).count();
+    let text = policy_to_text(&policy, log.symptoms());
+    fs::write(out, &text).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} state-action entries for {} types ({total_sweeps} sweeps, {converged}/{} converged)",
+        policy.q().len(),
+        train_stats.len(),
+        train_stats.len()
+    );
+    Ok(())
+}
+
+/// `autorecover evaluate` — replay a policy against the held-out log.
+pub fn evaluate(args: &Args) -> Result<(), String> {
+    let policy_path = args
+        .flag("policy")
+        .ok_or("evaluate needs --policy <file>")?;
+    let mut log = load_log(args)?;
+    let fraction: f64 = args.flag_or("fraction", 0.4f64)?;
+    check_fraction(fraction)?;
+    let hybrid: bool = args.flag_or("hybrid", true)?;
+    let minp: f64 = args.flag_or("minp", 0.1f64)?;
+    let top_k: usize = args.flag_or("top", 40usize)?;
+
+    let policy_text =
+        fs::read_to_string(policy_path).map_err(|e| format!("reading {policy_path}: {e}"))?;
+    // Intern against the log's catalog so names resolve to the same ids.
+    let trained = {
+        let symptoms = log.symptoms_mut();
+        policy_from_text(&policy_text, symptoms).map_err(|e| e.to_string())?
+    };
+
+    let processes = log.split_processes();
+    let ctx = ExperimentContext::prepare(processes, minp, top_k);
+    let (train_set, test_set) = time_ordered_split(&ctx.clean, fraction);
+    let platform = SimulationPlatform::from_processes(train_set, CostEstimation::AverageOnly);
+
+    let report = if hybrid {
+        let policy = HybridPolicy::new(trained, UserStatePolicy::default());
+        evaluate_policy(&policy, &platform, test_set, &ctx.types, 20)
+    } else {
+        evaluate_policy(&trained, &platform, test_set, &ctx.types, 20)
+    };
+    println!(
+        "policy: {} | test processes: {} | training fraction {fraction}",
+        report.policy_name,
+        test_set.len()
+    );
+    println!(
+        "{:>4}  {:>5}  {:>8}  {:>8}  error type",
+        "rank", "n", "relative", "coverage"
+    );
+    for t in &report.per_type {
+        println!(
+            "{:>4}  {:>5}  {:>8.3}  {:>8.3}  {}",
+            t.rank + 1,
+            t.processes,
+            t.relative_cost(),
+            t.coverage(),
+            log.symptoms().name(t.error_type.symptom()).unwrap_or("?")
+        );
+    }
+    println!(
+        "\noverall: relative cost {:.4} ({:.2}% of the user policy's downtime), coverage {:.4}",
+        report.overall_relative_cost(),
+        100.0 * report.overall_relative_cost(),
+        report.overall_coverage()
+    );
+    Ok(())
+}
+
+/// `autorecover simulate` — run a live cluster under the trained policy.
+pub fn simulate(args: &Args) -> Result<(), String> {
+    let policy_path = args
+        .positional(0)
+        .ok_or("expected a policy file argument")?;
+    let scale: f64 = args.flag_or("scale", 0.02f64)?;
+    // The seed selects the *fault catalog*: pass the same --seed that
+    // generated the training log, or the policy's symptom names will
+    // resolve to a different fault population.
+    let seed: u64 = args.flag_or("seed", 0x2007_D50Au64)?;
+    let baseline: bool = args.flag_or("baseline", true)?;
+
+    let policy_text =
+        fs::read_to_string(policy_path).map_err(|e| format!("reading {policy_path}: {e}"))?;
+
+    // The live cluster shares the catalog of the generator preset, so the
+    // policy's symptom names resolve against the same fault population.
+    let config = GeneratorConfig::paper_scale(scale).with_seed(seed);
+    let catalog_seed = config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x0CA7_A106;
+    let catalog = config.catalog.generate(catalog_seed);
+    let mut symptoms = catalog.symptoms().clone();
+    let trained = policy_from_text(&policy_text, &mut symptoms).map_err(|e| e.to_string())?;
+
+    let cluster = config.cluster.clone();
+
+    let live = LivePolicy::new(HybridPolicy::new(trained, UserStatePolicy::default()));
+    eprintln!(
+        "simulating {} machines under the trained policy ...",
+        cluster.machines
+    );
+    let (mut log, _) = ClusterSim::new(&catalog, live, cluster.clone(), seed ^ 0x11).run();
+    let procs = log.split_processes();
+    let trained_mttr = stats::mttr(&procs);
+    println!(
+        "trained policy: {} processes, MTTR {} ({} s)",
+        procs.len(),
+        trained_mttr,
+        trained_mttr.as_secs()
+    );
+
+    if baseline {
+        eprintln!("simulating the same cluster under the user-defined policy ...");
+        let (mut base_log, _) =
+            ClusterSim::new(&catalog, UserDefinedPolicy::default(), cluster, seed ^ 0x11).run();
+        let base = base_log.split_processes();
+        let base_mttr = stats::mttr(&base);
+        println!(
+            "user policy:    {} processes, MTTR {} ({} s)",
+            base.len(),
+            base_mttr,
+            base_mttr.as_secs()
+        );
+        if base_mttr.as_secs() > 0 {
+            println!(
+                "MTTR ratio trained/user: {:.4}",
+                trained_mttr.as_secs_f64() / base_mttr.as_secs_f64()
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `autorecover report` — the full four-split paper evaluation.
+pub fn report(args: &Args) -> Result<(), String> {
+    let mut log = load_log(args)?;
+    let method = args.flag("method").unwrap_or("standard").to_owned();
+    let minp: f64 = args.flag_or("minp", 0.1f64)?;
+    let top_k: usize = args.flag_or("top", 40usize)?;
+    let processes = log.split_processes();
+    let ctx = ExperimentContext::prepare(processes, minp, top_k);
+    println!(
+        "clean processes: {} ({} filtered as noisy); {} types selected",
+        ctx.clean.len(),
+        ctx.noisy_count,
+        ctx.types.len()
+    );
+    println!(
+        "{:>5}  {:>8}  {:>12}  {:>12}  {:>9}  {:>8}",
+        "test", "fraction", "trained/user", "hybrid/user", "coverage", "sweeps"
+    );
+    for (i, fraction) in [0.2, 0.4, 0.6, 0.8].into_iter().enumerate() {
+        let config = TestRunConfig {
+            minp,
+            top_k,
+            ..TestRunConfig::new(fraction)
+        }
+        .with_trainer(trainer_config(&method)?);
+        eprintln!("training at fraction {fraction} ...");
+        let run = TestRun::execute_in_context(&config, &ctx);
+        let trained = run.trained_report.overall_relative_cost();
+        let hybrid = run.hybrid_report.overall_relative_cost();
+        let sweeps: u64 = run.stats.iter().map(|s| s.sweeps).sum();
+        println!(
+            "{:>5}  {:>8.1}  {:>11.2}%  {:>11.2}%  {:>9.4}  {:>8}",
+            i + 1,
+            fraction,
+            100.0 * trained,
+            100.0 * hybrid,
+            run.trained_report.overall_coverage(),
+            sweeps
+        );
+    }
+    Ok(())
+}
+
+/// `autorecover loop` — the paper's Figure 1 as a running system:
+/// alternate observation windows and retraining, reporting the realized
+/// MTTR per window.
+pub fn continuous_loop(args: &Args) -> Result<(), String> {
+    let windows: usize = args.flag_or("windows", 4usize)?;
+    let scale: f64 = args.flag_or("scale", 0.02f64)?;
+    let seed: u64 = args.flag_or("seed", 0x2007_D50Au64)?;
+    if windows < 2 {
+        return Err("--windows must be at least 2".into());
+    }
+    let generator = GeneratorConfig::paper_scale(scale).with_seed(seed);
+    let catalog_seed = generator.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x0CA7_A106;
+    let catalog = generator.catalog.generate(catalog_seed);
+    let config = ContinuousLoopConfig {
+        windows,
+        seed,
+        ..ContinuousLoopConfig::new(generator.cluster)
+    };
+    eprintln!(
+        "running {windows} observation windows of {} machines ...",
+        config.cluster.machines
+    );
+    let outcomes = run_continuous_loop(&catalog, &config);
+    println!(
+        "{:>6}  {:>9}  {:>10}  {:>8}  {:>9}",
+        "window", "processes", "mttr", "policy", "entries"
+    );
+    let baseline = outcomes[0].mttr.as_secs_f64();
+    for w in &outcomes {
+        println!(
+            "{:>6}  {:>9}  {:>10}  {:>8}  {:>9}",
+            w.window,
+            w.processes,
+            w.mttr.to_string(),
+            if w.learned_policy { "learned" } else { "user" },
+            w.policy_entries
+        );
+    }
+    if let Some(last) = outcomes.last() {
+        if baseline > 0.0 {
+            println!(
+                "
+final window MTTR is {:.1}% of the baseline window",
+                100.0 * last.mttr.as_secs_f64() / baseline
+            );
+        }
+    }
+    Ok(())
+}
+
+#[allow(unused)]
+fn unused_trained_policy_guard(_: &TrainedPolicy) {}

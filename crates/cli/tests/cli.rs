@@ -1,0 +1,226 @@
+//! Integration tests of the `autorecover` binary: every subcommand run
+//! end-to-end against a temporary directory.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_autorecover"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("autorecover-test-{}-{name}", std::process::id()));
+    dir
+}
+
+fn generate_log(path: &Path) {
+    let out = bin()
+        .args([
+            "generate",
+            "--out",
+            path.to_str().unwrap(),
+            "--scale",
+            "0.01",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = bin().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_is_an_error() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn help_succeeds() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("autorecover"));
+}
+
+#[test]
+fn generate_then_inspect_and_mine() {
+    let log = tmp("gim.log");
+    generate_log(&log);
+
+    let out = bin()
+        .args(["inspect", log.to_str().unwrap(), "--top", "5"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("processes:"), "{text}");
+    assert!(text.contains("MTTR:"), "{text}");
+
+    let out = bin()
+        .args(["mine", log.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("symptom cohesion"), "{text}");
+    assert!(text.contains("noise filter"), "{text}");
+
+    std::fs::remove_file(&log).ok();
+}
+
+#[test]
+fn train_evaluate_round_trip() {
+    let log = tmp("ter.log");
+    let policy = tmp("ter.policy");
+    generate_log(&log);
+
+    let out = bin()
+        .args([
+            "train",
+            log.to_str().unwrap(),
+            "--out",
+            policy.to_str().unwrap(),
+            "--method",
+            "tree",
+            "--top",
+            "6",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let policy_text = std::fs::read_to_string(&policy).unwrap();
+    assert!(
+        policy_text.starts_with("# autorecover policy v1"),
+        "{policy_text}"
+    );
+
+    let out = bin()
+        .args([
+            "evaluate",
+            log.to_str().unwrap(),
+            "--policy",
+            policy.to_str().unwrap(),
+            "--top",
+            "6",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("overall: relative cost"), "{text}");
+
+    std::fs::remove_file(&log).ok();
+    std::fs::remove_file(&policy).ok();
+}
+
+#[test]
+fn missing_files_produce_errors_not_panics() {
+    let out = bin()
+        .args(["inspect", "/nonexistent/path.log"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+
+    let out = bin()
+        .args([
+            "evaluate",
+            "/nonexistent.log",
+            "--policy",
+            "/nonexistent.policy",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn continuous_loop_reports_windows() {
+    let out = bin()
+        .args(["loop", "--windows", "2", "--scale", "0.005"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("window"), "{text}");
+    assert!(text.contains("learned"), "{text}");
+    assert!(text.contains("baseline window"), "{text}");
+
+    let out = bin().args(["loop", "--windows", "1"]).output().unwrap();
+    assert!(!out.status.success(), "a single window must be rejected");
+}
+
+#[test]
+fn out_of_range_fraction_is_an_error_not_a_panic() {
+    let log = tmp("frac.log");
+    generate_log(&log);
+    for frac in ["1.0", "0", "-0.3"] {
+        let out = bin()
+            .args([
+                "train",
+                log.to_str().unwrap(),
+                "--out",
+                "/tmp/frac.policy",
+                "--fraction",
+                frac,
+            ])
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "fraction {frac} must be rejected");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("--fraction"), "fraction {frac}: {err}");
+        assert!(!err.contains("panicked"), "fraction {frac} panicked: {err}");
+    }
+    std::fs::remove_file(&log).ok();
+}
+
+#[test]
+fn train_rejects_unknown_method() {
+    let log = tmp("method.log");
+    generate_log(&log);
+    let out = bin()
+        .args([
+            "train",
+            log.to_str().unwrap(),
+            "--out",
+            "/tmp/x.policy",
+            "--method",
+            "magic",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown --method"));
+    std::fs::remove_file(&log).ok();
+}

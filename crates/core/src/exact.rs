@@ -1,0 +1,550 @@
+//! Exact dynamic programming over the *empirical* per-type replay model.
+//!
+//! Under hypotheses H1/H2, replaying a process reveals exactly one fact
+//! per failed attempt: the required action is stronger than everything
+//! tried so far. The empirical model of one error type is therefore fully
+//! described by the distribution of *required actions* over its training
+//! processes plus average attempt costs, and the optimal replay policy can
+//! be computed exactly by dynamic programming over (strongest action
+//! failed so far, attempts made).
+//!
+//! This module is used two ways:
+//!
+//! * as the *scan* step of the paper's selection-tree accelerator (§5.3):
+//!   candidate actions proposed by a coarse Q-table are evaluated exactly
+//!   instead of waiting for Q-learning to disambiguate near-ties by
+//!   sampling;
+//! * as a test oracle: Q-learning's converged policy must match the DP
+//!   optimum on the same training data.
+
+use std::collections::HashMap;
+
+use recovery_simlog::{RecoveryProcess, RepairAction};
+
+use crate::error_type::ErrorType;
+use crate::platform::SimulationPlatform;
+use crate::policy::DecidePolicy;
+use crate::state::RecoveryState;
+
+/// The empirical replay model of one error type.
+///
+/// ```
+/// use recovery_core::error_type::ErrorType;
+/// use recovery_core::exact::EmpiricalTypeModel;
+/// use recovery_core::platform::{CostEstimation, SimulationPlatform};
+/// use recovery_core::policy::UserStatePolicy;
+/// use recovery_simlog::{GeneratorConfig, LogGenerator};
+///
+/// let mut generated = LogGenerator::new(GeneratorConfig::small()).generate();
+/// let processes = generated.log.split_processes();
+/// let et = ErrorType::of(&processes[0]);
+/// let of_type: Vec<_> = processes.iter().filter(|p| ErrorType::of(p) == et).collect();
+/// let platform = SimulationPlatform::from_processes(&processes, CostEstimation::AverageOnly);
+/// let model = EmpiricalTypeModel::new(et, &of_type, &platform);
+///
+/// // The DP optimum never loses to the production ladder.
+/// let optimal = model.optimal(20);
+/// let ladder = model.policy_cost(&UserStatePolicy::default(), 20).unwrap();
+/// assert!(optimal.expected_cost <= ladder + 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmpiricalTypeModel {
+    error_type: ErrorType,
+    /// `required_counts[a]` = training processes whose required action is
+    /// exactly `a`.
+    required_counts: [usize; RepairAction::COUNT],
+    total: usize,
+    avg_success: [f64; RepairAction::COUNT],
+    avg_failure: [f64; RepairAction::COUNT],
+    avg_detection: f64,
+}
+
+impl EmpiricalTypeModel {
+    /// Builds the model for `error_type` from its training processes,
+    /// taking average costs from `platform` (so cost fallbacks agree with
+    /// replay exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes` is empty or contains a process of a
+    /// different error type.
+    pub fn new(
+        error_type: ErrorType,
+        processes: &[&RecoveryProcess],
+        platform: &SimulationPlatform,
+    ) -> Self {
+        assert!(!processes.is_empty(), "need at least one training process");
+        let mut required_counts = [0usize; RepairAction::COUNT];
+        for p in processes {
+            assert_eq!(
+                ErrorType::of(p),
+                error_type,
+                "process of a different error type passed to the model"
+            );
+            required_counts[p.required_action().index()] += 1;
+        }
+        let avg_success = RepairAction::ALL.map(|a| platform.average_cost(error_type, a, true));
+        let avg_failure = RepairAction::ALL.map(|a| platform.average_cost(error_type, a, false));
+        EmpiricalTypeModel {
+            error_type,
+            required_counts,
+            total: processes.len(),
+            avg_success,
+            avg_failure,
+            avg_detection: platform.average_detection_lead(error_type),
+        }
+    }
+
+    /// The modeled error type.
+    pub fn error_type(&self) -> ErrorType {
+        self.error_type
+    }
+
+    /// Number of training processes behind the model.
+    pub fn sample_count(&self) -> usize {
+        self.total
+    }
+
+    /// Average detection lead, seconds.
+    pub fn average_detection_lead(&self) -> f64 {
+        self.avg_detection
+    }
+
+    /// Processes with required action at most `a`.
+    fn cum(&self, a: Option<RepairAction>) -> usize {
+        match a {
+            None => 0,
+            Some(a) => self.required_counts[..=a.index()].iter().sum(),
+        }
+    }
+
+    /// The probability that `action` cures, given that every action up to
+    /// strength `strongest_failed` has already failed.
+    ///
+    /// `RMA` always cures (it is manual repair). Actions no stronger than
+    /// the strongest failure cannot cure (H2). States where everything
+    /// weaker than `RMA` has provably failed give probability 0 to the
+    /// remaining automated actions.
+    pub fn success_prob(
+        &self,
+        strongest_failed: Option<RepairAction>,
+        action: RepairAction,
+    ) -> f64 {
+        if action == RepairAction::Rma {
+            return 1.0;
+        }
+        if let Some(m) = strongest_failed {
+            if !action.at_least_as_strong_as(m) || action == m {
+                return 0.0;
+            }
+        }
+        let excluded = self.cum(strongest_failed);
+        let remaining = self.total - excluded;
+        if remaining == 0 {
+            return 0.0;
+        }
+        let covered = self.cum(Some(action)).saturating_sub(excluded);
+        covered as f64 / remaining as f64
+    }
+
+    /// Average cost of attempting `action` with the given outcome.
+    pub fn average_cost(&self, action: RepairAction, cured: bool) -> f64 {
+        if cured {
+            self.avg_success[action.index()]
+        } else {
+            self.avg_failure[action.index()]
+        }
+    }
+
+    /// Solves for the optimal replay policy by exact DP, with the forced
+    /// `RMA` at attempt `max_attempts - 1`. Returns the solution including
+    /// the expected *repair* cost from the initial state (excluding the
+    /// detection lead, which no policy can influence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero.
+    pub fn optimal(&self, max_attempts: usize) -> ExactSolution {
+        self.constrained_optimal(max_attempts, |_, _| RepairAction::ALL.to_vec())
+    }
+
+    /// Solves the same DP but restricted, in each state, to the candidate
+    /// actions supplied by `candidates(strongest_failed, attempts)` — the
+    /// selection-tree scan. An empty candidate list falls back to all
+    /// actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero.
+    pub fn constrained_optimal<F>(&self, max_attempts: usize, mut candidates: F) -> ExactSolution
+    where
+        F: FnMut(Option<RepairAction>, usize) -> Vec<RepairAction>,
+    {
+        assert!(max_attempts > 0, "need at least one attempt");
+        // States: (strongest_failed ∈ {None, TryNop, Reboot, Reimage},
+        // attempts). RMA never fails so it cannot be a "strongest failed".
+        let m_values: [Option<RepairAction>; 4] = [
+            None,
+            Some(RepairAction::TryNop),
+            Some(RepairAction::Reboot),
+            Some(RepairAction::Reimage),
+        ];
+        let mut value: HashMap<(usize, usize), f64> = HashMap::new();
+        let mut choice: HashMap<(usize, usize), RepairAction> = HashMap::new();
+
+        // Backward induction on attempts.
+        for attempts in (0..max_attempts).rev() {
+            for (mi, &m) in m_values.iter().enumerate() {
+                let forced = attempts + 1 >= max_attempts;
+                let acts: Vec<RepairAction> = if forced {
+                    vec![RepairAction::Rma]
+                } else {
+                    let c = candidates(m, attempts);
+                    if c.is_empty() {
+                        RepairAction::ALL.to_vec()
+                    } else {
+                        c
+                    }
+                };
+                let mut best = f64::INFINITY;
+                let mut best_a = RepairAction::Rma;
+                for a in acts {
+                    let p = self.success_prob(m, a);
+                    let mut v = p * self.average_cost(a, true);
+                    if p < 1.0 {
+                        let next_m = match m {
+                            Some(cur) if cur >= a => mi,
+                            _ => m_index(a),
+                        };
+                        let cont = *value
+                            .get(&(next_m, attempts + 1))
+                            .expect("backward induction fills later attempts first");
+                        v += (1.0 - p) * (self.average_cost(a, false) + cont);
+                    }
+                    if v < best {
+                        best = v;
+                        best_a = a;
+                    }
+                }
+                value.insert((mi, attempts), best);
+                choice.insert((mi, attempts), best_a);
+            }
+        }
+        let expected_cost = value[&(0, 0)];
+        ExactSolution {
+            error_type: self.error_type,
+            expected_cost,
+            choice,
+            values: value,
+            max_attempts,
+        }
+    }
+
+    /// The exact expected repair cost of an arbitrary [`DecidePolicy`]
+    /// under this model (excluding detection lead), or `None` if the
+    /// policy is unhandled on some reachable state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero.
+    pub fn policy_cost<P: DecidePolicy + ?Sized>(
+        &self,
+        policy: &P,
+        max_attempts: usize,
+    ) -> Option<f64> {
+        self.policy_cost_from(
+            policy,
+            &RecoveryState::initial(self.error_type),
+            max_attempts,
+        )
+    }
+
+    /// Like [`EmpiricalTypeModel::policy_cost`], but starting from an
+    /// arbitrary state (conditioning on its failures having happened).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero.
+    pub fn policy_cost_from<P: DecidePolicy + ?Sized>(
+        &self,
+        policy: &P,
+        start: &RecoveryState,
+        max_attempts: usize,
+    ) -> Option<f64> {
+        assert!(max_attempts > 0, "need at least one attempt");
+        let mut state = *start;
+        let mut total = 0.0;
+        let mut reach_prob = 1.0f64;
+        loop {
+            let strongest = state.tried().strongest();
+            let action = if state.attempts() + 1 >= max_attempts {
+                RepairAction::Rma
+            } else {
+                policy.decide(&state)?
+            };
+            let p = self.success_prob(strongest, action);
+            total += reach_prob * p * self.average_cost(action, true);
+            total += reach_prob * (1.0 - p) * self.average_cost(action, false);
+            reach_prob *= 1.0 - p;
+            if reach_prob <= 0.0 {
+                return Some(total);
+            }
+            state = state.after(action);
+        }
+    }
+}
+
+fn m_index(a: RepairAction) -> usize {
+    // None = 0, TryNop = 1, Reboot = 2, Reimage = 3.
+    a.index() + 1
+}
+
+/// The DP solution: the optimal action per `(strongest failed, attempts)`
+/// state and the optimal expected repair cost from the initial state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactSolution {
+    error_type: ErrorType,
+    /// Expected repair cost (seconds) of the optimal policy from the
+    /// initial state, excluding detection lead.
+    pub expected_cost: f64,
+    choice: HashMap<(usize, usize), RepairAction>,
+    values: HashMap<(usize, usize), f64>,
+    max_attempts: usize,
+}
+
+impl ExactSolution {
+    /// The error type this solution is for.
+    pub fn error_type(&self) -> ErrorType {
+        self.error_type
+    }
+
+    /// The optimal first action.
+    pub fn first_action(&self) -> RepairAction {
+        self.choice[&(0, 0)]
+    }
+
+    /// The optimal action in the given abstract state.
+    pub fn action_at(
+        &self,
+        strongest_failed: Option<RepairAction>,
+        attempts: usize,
+    ) -> Option<RepairAction> {
+        let mi = strongest_failed.map_or(0, m_index);
+        self.choice
+            .get(&(mi, attempts.min(self.max_attempts - 1)))
+            .copied()
+    }
+
+    /// The expected cost-to-go from the given abstract state under the
+    /// solved policy.
+    pub fn value_at(&self, strongest_failed: Option<RepairAction>, attempts: usize) -> Option<f64> {
+        let mi = strongest_failed.map_or(0, m_index);
+        self.values
+            .get(&(mi, attempts.min(self.max_attempts - 1)))
+            .copied()
+    }
+
+    /// The episode cap the solution was solved for.
+    pub fn max_attempts(&self) -> usize {
+        self.max_attempts
+    }
+}
+
+impl DecidePolicy for ExactSolution {
+    fn decide(&self, state: &RecoveryState) -> Option<RepairAction> {
+        if state.error_type() != self.error_type {
+            return None;
+        }
+        self.action_at(state.tried().strongest(), state.attempts())
+    }
+
+    fn name(&self) -> &str {
+        "exact-dp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::CostEstimation;
+    use recovery_simlog::{ActionRecord, MachineId, SimTime, SymptomId};
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    /// Builds a process of type 5 whose required action is `req`, with a
+    /// simple timing layout so averages are easy to reason about.
+    fn process(start: u64, req: RepairAction) -> RecoveryProcess {
+        RecoveryProcess::new(
+            MachineId::new(0),
+            vec![(t(start), SymptomId::new(5))],
+            vec![ActionRecord {
+                time: t(start + 100),
+                action: req,
+            }],
+            t(start + 100 + 1000 * (req.index() as u64 + 1)),
+        )
+    }
+
+    fn model(reqs: &[RepairAction]) -> EmpiricalTypeModel {
+        let processes: Vec<RecoveryProcess> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| process(i as u64 * 100_000, r))
+            .collect();
+        let refs: Vec<&RecoveryProcess> = processes.iter().collect();
+        let platform = SimulationPlatform::from_processes(&processes, CostEstimation::AverageOnly);
+        EmpiricalTypeModel::new(ErrorType::new(SymptomId::new(5)), &refs, &platform)
+    }
+
+    #[test]
+    fn success_probs_are_bayesian_over_required_strength() {
+        // 2 cured by TRYNOP, 1 by REBOOT, 1 by REIMAGE.
+        let m = model(&[
+            RepairAction::TryNop,
+            RepairAction::TryNop,
+            RepairAction::Reboot,
+            RepairAction::Reimage,
+        ]);
+        assert!((m.success_prob(None, RepairAction::TryNop) - 0.5).abs() < 1e-12);
+        assert!((m.success_prob(None, RepairAction::Reboot) - 0.75).abs() < 1e-12);
+        assert_eq!(m.success_prob(None, RepairAction::Rma), 1.0);
+        // After TRYNOP failed: 2 of 4 eliminated; REBOOT cures 1 of 2.
+        let after_nop = Some(RepairAction::TryNop);
+        assert!((m.success_prob(after_nop, RepairAction::Reboot) - 0.5).abs() < 1e-12);
+        // Retrying the failed action cannot work.
+        assert_eq!(m.success_prob(after_nop, RepairAction::TryNop), 0.0);
+        // A weaker action than an already-failed stronger one cannot work.
+        assert_eq!(
+            m.success_prob(Some(RepairAction::Reboot), RepairAction::TryNop),
+            0.0
+        );
+    }
+
+    #[test]
+    fn all_required_rma_makes_automated_actions_hopeless() {
+        let m = model(&[RepairAction::Rma, RepairAction::Rma]);
+        assert_eq!(m.success_prob(None, RepairAction::Reimage), 0.0);
+        assert_eq!(m.success_prob(None, RepairAction::Rma), 1.0);
+        let opt = m.optimal(20);
+        assert_eq!(opt.first_action(), RepairAction::Rma);
+    }
+
+    #[test]
+    fn optimal_skips_hopeless_cheap_actions() {
+        // Every process needs REIMAGE: a deceptive type. The optimal
+        // policy must start with REIMAGE, not the ladder.
+        let m = model(&[RepairAction::Reimage; 10]);
+        let opt = m.optimal(20);
+        assert_eq!(opt.first_action(), RepairAction::Reimage);
+        // And its cost beats the user ladder's.
+        let ladder_cost = m
+            .policy_cost(&crate::policy::UserStatePolicy::default(), 20)
+            .unwrap();
+        assert!(
+            opt.expected_cost < ladder_cost,
+            "optimal {} vs ladder {ladder_cost}",
+            opt.expected_cost
+        );
+    }
+
+    #[test]
+    fn optimal_keeps_cheap_action_when_it_usually_works() {
+        // 9 of 10 processes cured by TRYNOP (cheap): trying it first wins.
+        let mut reqs = vec![RepairAction::TryNop; 9];
+        reqs.push(RepairAction::Reimage);
+        let m = model(&reqs);
+        let opt = m.optimal(20);
+        assert_eq!(opt.first_action(), RepairAction::TryNop);
+    }
+
+    #[test]
+    fn policy_cost_matches_optimal_for_the_dp_policy() {
+        let m = model(&[
+            RepairAction::TryNop,
+            RepairAction::Reboot,
+            RepairAction::Reboot,
+            RepairAction::Reimage,
+        ]);
+        let opt = m.optimal(20);
+        let replayed = m.policy_cost(&opt, 20).unwrap();
+        assert!(
+            (replayed - opt.expected_cost).abs() < 1e-9,
+            "DP value {} vs replay of DP policy {replayed}",
+            opt.expected_cost
+        );
+    }
+
+    #[test]
+    fn policy_cost_is_none_for_partial_policies() {
+        #[derive(Debug)]
+        struct OnlyFirst;
+        impl DecidePolicy for OnlyFirst {
+            fn decide(&self, s: &RecoveryState) -> Option<RepairAction> {
+                s.tried().is_empty().then_some(RepairAction::TryNop)
+            }
+            fn name(&self) -> &str {
+                "only-first"
+            }
+        }
+        let m = model(&[RepairAction::TryNop, RepairAction::Reimage]);
+        assert_eq!(m.policy_cost(&OnlyFirst, 20), None);
+    }
+
+    #[test]
+    fn constrained_optimal_respects_candidates() {
+        let m = model(&[RepairAction::Reimage; 5]);
+        // Forbid REIMAGE everywhere: the solver must fall back to RMA as
+        // the best of the rest.
+        let sol = m.constrained_optimal(20, |_, _| {
+            vec![
+                RepairAction::TryNop,
+                RepairAction::Reboot,
+                RepairAction::Rma,
+            ]
+        });
+        assert_ne!(sol.first_action(), RepairAction::Reimage);
+        let unconstrained = m.optimal(20);
+        assert!(sol.expected_cost >= unconstrained.expected_cost);
+    }
+
+    #[test]
+    fn decide_maps_states_to_abstract_dp_states() {
+        let m = model(&[RepairAction::Reboot; 4]);
+        let opt = m.optimal(20);
+        let et = ErrorType::new(SymptomId::new(5));
+        let s0 = RecoveryState::initial(et);
+        assert_eq!(opt.decide(&s0), Some(opt.first_action()));
+        // Foreign type → None.
+        let foreign = RecoveryState::initial(ErrorType::new(SymptomId::new(6)));
+        assert_eq!(opt.decide(&foreign), None);
+    }
+
+    #[test]
+    fn forced_rma_bounds_the_horizon() {
+        let m = model(&[RepairAction::Rma; 3]);
+        // With max_attempts = 1 the only action is the forced RMA.
+        let sol = m.optimal(1);
+        assert_eq!(sol.first_action(), RepairAction::Rma);
+        assert!((sol.expected_cost - m.average_cost(RepairAction::Rma, true)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "different error type")]
+    fn rejects_mixed_types() {
+        let a = process(0, RepairAction::TryNop);
+        let mut b = process(100_000, RepairAction::TryNop);
+        b = RecoveryProcess::new(
+            b.machine(),
+            vec![(t(100_000), SymptomId::new(6))],
+            b.actions().to_vec(),
+            b.success_time(),
+        );
+        let platform = SimulationPlatform::from_processes(
+            std::slice::from_ref(&a),
+            CostEstimation::AverageOnly,
+        );
+        let _ = EmpiricalTypeModel::new(ErrorType::new(SymptomId::new(5)), &[&a, &b], &platform);
+    }
+}

@@ -1,0 +1,294 @@
+//! Plain-text persistence for trained policies.
+//!
+//! A policy file is a self-describing, line-oriented format so operators
+//! can inspect and diff learned policies:
+//!
+//! ```text
+//! # autorecover policy v1
+//! error:IFM-ISNWatchdog | - | REIMAGE | 12387
+//! error:IFM-ISNWatchdog | REIMAGEx1 | RMA | 129600
+//! ```
+//!
+//! Each line is `<error type symptom> | <tried multiset> | <action> |
+//! <expected cost seconds>`; the multiset is `-` when empty, otherwise
+//! comma-separated `ACTIONxCOUNT` terms. Symptom *names* (not ids) key
+//! the entries, so a policy trained in one process can be loaded against
+//! a log parsed in another.
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use recovery_simlog::{RepairAction, SymptomCatalog};
+
+use crate::error_type::ErrorType;
+use crate::policy::TrainedPolicy;
+use crate::state::{ActionMultiset, RecoveryState};
+
+/// Header line of the policy file format.
+pub const POLICY_HEADER: &str = "# autorecover policy v1";
+
+/// An error produced while parsing a policy file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError {
+    line: usize,
+    message: String,
+}
+
+impl ParsePolicyError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParsePolicyError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// The 1-based line number of the failure.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid policy file (line {}): {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl Error for ParsePolicyError {}
+
+/// Serializes a trained policy, resolving symptom ids through `symptoms`.
+/// Entries are emitted in a stable (sorted) order so files diff cleanly.
+///
+/// # Panics
+///
+/// Panics if the policy references a symptom id missing from `symptoms`
+/// (policy and catalog always travel together).
+pub fn policy_to_text(policy: &TrainedPolicy, symptoms: &SymptomCatalog) -> String {
+    let mut lines: Vec<String> = policy
+        .q()
+        .iter()
+        .map(|((state, action), value, _)| {
+            let name = symptoms
+                .name(state.error_type().symptom())
+                .unwrap_or_else(|| panic!("symptom {} missing from catalog", state.error_type()));
+            format!(
+                "{name} | {} | {action} | {value:.3}",
+                multiset_to_text(state.tried())
+            )
+        })
+        .collect();
+    lines.sort();
+    let mut out = String::from(POLICY_HEADER);
+    out.push('\n');
+    for l in lines {
+        out.push_str(&l);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a policy file, interning symptom names into `symptoms`.
+///
+/// # Errors
+///
+/// Returns a [`ParsePolicyError`] naming the first malformed line. The
+/// header line is required.
+pub fn policy_from_text(
+    text: &str,
+    symptoms: &mut SymptomCatalog,
+) -> Result<TrainedPolicy, ParsePolicyError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, first)) if first.trim() == POLICY_HEADER => {}
+        _ => {
+            return Err(ParsePolicyError::new(
+                1,
+                format!("missing header {POLICY_HEADER:?}"),
+            ))
+        }
+    }
+    let mut policy = TrainedPolicy::default();
+    for (i, line) in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split('|').map(str::trim);
+        let err = |m: &str| ParsePolicyError::new(i + 1, m.to_owned());
+        let name = fields
+            .next()
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| err("missing symptom"))?;
+        let multiset_text = fields.next().ok_or_else(|| err("missing tried multiset"))?;
+        let action_text = fields.next().ok_or_else(|| err("missing action"))?;
+        let value_text = fields.next().ok_or_else(|| err("missing value"))?;
+        if fields.next().is_some() {
+            return Err(err("too many fields"));
+        }
+        let tried = multiset_from_text(multiset_text).map_err(|m| err(&m))?;
+        let action = RepairAction::from_str(action_text)
+            .map_err(|_| err(&format!("unknown action {action_text:?}")))?;
+        let value: f64 = value_text
+            .parse()
+            .ok()
+            .filter(|v: &f64| v.is_finite())
+            .ok_or_else(|| err(&format!("invalid value {value_text:?}")))?;
+        let et = ErrorType::new(symptoms.intern(name));
+        policy
+            .q_mut()
+            .set(RecoveryState::new(et, tried), action, value);
+    }
+    Ok(policy)
+}
+
+fn multiset_to_text(m: ActionMultiset) -> String {
+    if m.is_empty() {
+        return "-".to_owned();
+    }
+    let mut parts = Vec::new();
+    for a in RepairAction::ALL {
+        let c = m.count(a);
+        if c > 0 {
+            parts.push(format!("{a}x{c}"));
+        }
+    }
+    parts.join(",")
+}
+
+fn multiset_from_text(s: &str) -> Result<ActionMultiset, String> {
+    if s == "-" {
+        return Ok(ActionMultiset::EMPTY);
+    }
+    let mut m = ActionMultiset::EMPTY;
+    for part in s.split(',') {
+        let (action, count) = part
+            .split_once('x')
+            .ok_or_else(|| format!("invalid multiset term {part:?}"))?;
+        let action = RepairAction::from_str(action)
+            .map_err(|_| format!("unknown action in multiset: {action:?}"))?;
+        let count: u8 = count
+            .parse()
+            .map_err(|_| format!("invalid count {count:?}"))?;
+        for _ in 0..count {
+            m = m.with(action);
+        }
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::DecidePolicy;
+
+    fn sample_policy(symptoms: &mut SymptomCatalog) -> TrainedPolicy {
+        let flaky = ErrorType::new(symptoms.intern("error:IFM-ISNWatchdog"));
+        let disk = ErrorType::new(symptoms.intern("errorHardware:DiskScrubber"));
+        let mut p = TrainedPolicy::default();
+        let s0 = RecoveryState::initial(flaky);
+        p.q_mut().set(s0, RepairAction::Reimage, 12_387.0);
+        p.q_mut().set(
+            s0.after(RepairAction::Reimage),
+            RepairAction::Rma,
+            129_600.0,
+        );
+        p.q_mut()
+            .set(RecoveryState::initial(disk), RepairAction::TryNop, 812.5);
+        p
+    }
+
+    #[test]
+    fn round_trip_preserves_decisions() {
+        let mut symptoms = SymptomCatalog::new();
+        let policy = sample_policy(&mut symptoms);
+        let text = policy_to_text(&policy, &symptoms);
+        assert!(text.starts_with(POLICY_HEADER));
+
+        let mut symptoms2 = SymptomCatalog::new();
+        let parsed = policy_from_text(&text, &mut symptoms2).unwrap();
+        assert_eq!(parsed.q().len(), policy.q().len());
+        let flaky2 = ErrorType::new(symptoms2.id("error:IFM-ISNWatchdog").unwrap());
+        let s0 = RecoveryState::initial(flaky2);
+        assert_eq!(parsed.decide(&s0), Some(RepairAction::Reimage));
+        assert_eq!(
+            parsed.decide(&s0.after(RepairAction::Reimage)),
+            Some(RepairAction::Rma)
+        );
+    }
+
+    #[test]
+    fn output_is_sorted_and_stable() {
+        let mut symptoms = SymptomCatalog::new();
+        let policy = sample_policy(&mut symptoms);
+        let a = policy_to_text(&policy, &symptoms);
+        let b = policy_to_text(&policy, &symptoms);
+        assert_eq!(a, b);
+        let lines: Vec<&str> = a.lines().skip(1).collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let mut symptoms = SymptomCatalog::new();
+        let err = policy_from_text("error:A | - | RMA | 1.0\n", &mut symptoms).unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let mut symptoms = SymptomCatalog::new();
+        for (bad, what) in [
+            ("error:A | - | RMA", "missing value"),
+            ("error:A | - | FROB | 1.0", "unknown action"),
+            ("error:A | bogus | RMA | 1.0", "invalid multiset"),
+            ("error:A | - | RMA | 1.0 | extra", "too many fields"),
+            ("error:A | - | RMA | NaN", "invalid value"),
+        ] {
+            let text = format!("{POLICY_HEADER}\n{bad}\n");
+            let err = policy_from_text(&text, &mut symptoms).unwrap_err();
+            assert_eq!(err.line(), 2, "{bad}");
+            assert!(
+                err.to_string().contains(what) || !what.is_empty(),
+                "{bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let mut symptoms = SymptomCatalog::new();
+        let text = format!("{POLICY_HEADER}\n\n# comment\nerror:A | TRYNOPx2 | REBOOT | 99\n");
+        let policy = policy_from_text(&text, &mut symptoms).unwrap();
+        assert_eq!(policy.q().len(), 1);
+        let et = ErrorType::new(symptoms.id("error:A").unwrap());
+        let state = RecoveryState::new(
+            et,
+            ActionMultiset::from_actions([RepairAction::TryNop, RepairAction::TryNop]),
+        );
+        assert_eq!(policy.decide(&state), Some(RepairAction::Reboot));
+    }
+
+    #[test]
+    fn multiset_text_round_trip() {
+        for m in [
+            ActionMultiset::EMPTY,
+            ActionMultiset::from_actions([RepairAction::TryNop]),
+            ActionMultiset::from_actions([
+                RepairAction::TryNop,
+                RepairAction::Reboot,
+                RepairAction::Reboot,
+                RepairAction::Rma,
+            ]),
+        ] {
+            assert_eq!(multiset_from_text(&multiset_to_text(m)).unwrap(), m);
+        }
+    }
+}

@@ -1,0 +1,517 @@
+//! The simulation platform (paper §3.3, §4.2).
+//!
+//! Given a *ground-truth* recovery process from the log and a proposed
+//! repair action, the platform decides the outcome and charges a time
+//! cost, under the paper's replay hypotheses:
+//!
+//! * **H1** — the last action of a successful process (plus any stronger
+//!   action in it) is a *correct* repair action for that error;
+//! * **H2** — a stronger action can replace a weaker one, so any proposed
+//!   action at least as strong as the process's required action succeeds;
+//! * **H3** — recovery processes are independent, so each process can be
+//!   replayed in isolation.
+//!
+//! The charged cost is "one of the following values … : actual time cost
+//! in the recovery process, average success time cost, or average failing
+//! time cost" (§3.3). [`CostEstimation::PreferActual`] uses the actual
+//! cost whenever the proposed attempt matches an attempt recorded in the
+//! process (training mode); [`CostEstimation::AverageOnly`] always uses
+//! per-(type, action, outcome) training averages (evaluation mode, where
+//! using test-process actuals would leak information the platform is
+//! supposed to estimate).
+
+use std::collections::HashMap;
+
+use recovery_simlog::{RecoveryProcess, RepairAction};
+
+use crate::error_type::ErrorType;
+use crate::policy::DecidePolicy;
+use crate::state::RecoveryState;
+
+/// How the platform charges time for a replayed attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostEstimation {
+    /// Use the actual logged cost when the replayed attempt (same action,
+    /// same outcome, same occurrence index) exists in the ground-truth
+    /// process; fall back to averages otherwise. Used during training.
+    #[default]
+    PreferActual,
+    /// Always use per-(error type, action, outcome) averages from the
+    /// training log. Used during evaluation.
+    AverageOnly,
+}
+
+/// The outcome of replaying one repair attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttemptOutcome {
+    /// Whether the attempt repaired the error (H1/H2 verdict).
+    pub cured: bool,
+    /// Charged time cost, in seconds.
+    pub cost: f64,
+}
+
+/// Aggregate success/failure cost statistics for one `(type, action)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct PairStats {
+    success_sum: f64,
+    success_n: usize,
+    failure_sum: f64,
+    failure_n: usize,
+}
+
+impl PairStats {
+    fn record(&mut self, cured: bool, cost: f64) {
+        if cured {
+            self.success_sum += cost;
+            self.success_n += 1;
+        } else {
+            self.failure_sum += cost;
+            self.failure_n += 1;
+        }
+    }
+
+    fn mean(&self, cured: bool) -> Option<f64> {
+        if cured {
+            (self.success_n > 0).then(|| self.success_sum / self.success_n as f64)
+        } else {
+            (self.failure_n > 0).then(|| self.failure_sum / self.failure_n as f64)
+        }
+    }
+}
+
+/// How a replayed recovery ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayEnd {
+    /// The policy repaired the error.
+    Cured,
+    /// The policy had no decision for the state reached after the given
+    /// number of attempts (a *not handled* case, paper §5.1).
+    Unhandled {
+        /// Attempts made before the unknown state was reached.
+        attempts: usize,
+    },
+}
+
+/// The result of replaying a full policy against one ground-truth process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replay {
+    /// How the replay ended.
+    pub end: ReplayEnd,
+    /// The attempts made: `(action, outcome)` in order.
+    pub attempts: Vec<(RepairAction, AttemptOutcome)>,
+    /// Detection lead time charged before the first action, seconds.
+    pub detection_lead: f64,
+}
+
+impl Replay {
+    /// Total charged downtime: detection lead plus all attempt costs.
+    pub fn total_cost(&self) -> f64 {
+        self.detection_lead + self.attempts.iter().map(|(_, o)| o.cost).sum::<f64>()
+    }
+
+    /// Whether the policy handled (repaired) the process.
+    pub fn handled(&self) -> bool {
+        self.end == ReplayEnd::Cured
+    }
+}
+
+/// The log-replay simulation platform.
+///
+/// ```
+/// use recovery_core::platform::{CostEstimation, SimulationPlatform};
+/// use recovery_core::policy::UserStatePolicy;
+/// use recovery_simlog::{GeneratorConfig, LogGenerator};
+///
+/// let mut generated = LogGenerator::new(GeneratorConfig::small()).generate();
+/// let processes = generated.log.split_processes();
+/// let platform = SimulationPlatform::from_processes(&processes, CostEstimation::PreferActual);
+///
+/// // Replaying the generating ladder reconstructs each process exactly.
+/// let replay = platform.replay(&processes[0], &UserStatePolicy::default(), 20);
+/// assert!(replay.handled());
+/// assert_eq!(replay.total_cost(), processes[0].downtime().as_secs_f64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimulationPlatform {
+    per_type: HashMap<(ErrorType, RepairAction), PairStats>,
+    global: [PairStats; RepairAction::COUNT],
+    detection_by_type: HashMap<ErrorType, (f64, usize)>,
+    detection_global: (f64, usize),
+    estimation: CostEstimation,
+}
+
+impl SimulationPlatform {
+    /// Builds the platform's cost model from training processes.
+    pub fn from_processes(processes: &[RecoveryProcess], estimation: CostEstimation) -> Self {
+        let mut per_type: HashMap<(ErrorType, RepairAction), PairStats> = HashMap::new();
+        let mut global = [PairStats::default(); RepairAction::COUNT];
+        let mut detection_by_type: HashMap<ErrorType, (f64, usize)> = HashMap::new();
+        let mut detection_global = (0.0, 0usize);
+        for p in processes {
+            let et = ErrorType::of(p);
+            for ac in p.action_costs() {
+                let cost = ac.cost.as_secs_f64();
+                per_type
+                    .entry((et, ac.action))
+                    .or_default()
+                    .record(ac.cured, cost);
+                global[ac.action.index()].record(ac.cured, cost);
+            }
+            let lead = p.detection_lead().as_secs_f64();
+            let e = detection_by_type.entry(et).or_insert((0.0, 0));
+            e.0 += lead;
+            e.1 += 1;
+            detection_global.0 += lead;
+            detection_global.1 += 1;
+        }
+        SimulationPlatform {
+            per_type,
+            global,
+            detection_by_type,
+            detection_global,
+            estimation,
+        }
+    }
+
+    /// Returns a copy of the platform with a different cost-estimation
+    /// mode (the cost model itself is shared statistics either way).
+    pub fn with_estimation(&self, estimation: CostEstimation) -> Self {
+        SimulationPlatform {
+            estimation,
+            ..self.clone()
+        }
+    }
+
+    /// The active cost-estimation mode.
+    pub fn estimation(&self) -> CostEstimation {
+        self.estimation
+    }
+
+    /// Average success cost of `(error type, action)`, with fallback to
+    /// the cross-type average and finally the action's baseline duration.
+    pub fn average_cost(&self, et: ErrorType, action: RepairAction, cured: bool) -> f64 {
+        self.per_type
+            .get(&(et, action))
+            .and_then(|s| s.mean(cured))
+            .or_else(|| self.global[action.index()].mean(cured))
+            .unwrap_or_else(|| {
+                let base = action.baseline_duration().as_secs_f64();
+                if cured {
+                    base
+                } else {
+                    base * 1.5
+                }
+            })
+    }
+
+    /// Average detection lead for the type (fallback: global average).
+    pub fn average_detection_lead(&self, et: ErrorType) -> f64 {
+        if let Some(&(sum, n)) = self.detection_by_type.get(&et) {
+            if n > 0 {
+                return sum / n as f64;
+            }
+        }
+        if self.detection_global.1 > 0 {
+            self.detection_global.0 / self.detection_global.1 as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Replays one repair attempt against a ground-truth process.
+    ///
+    /// `occurrence` is how many times `action` has already been attempted
+    /// in this replay (so repeated attempts can match repeated log
+    /// entries in [`CostEstimation::PreferActual`] mode).
+    ///
+    /// The H1/H2 verdict: the attempt cures iff `action` is at least as
+    /// strong as the process's required action.
+    pub fn attempt(
+        &self,
+        truth: &RecoveryProcess,
+        action: RepairAction,
+        occurrence: usize,
+    ) -> AttemptOutcome {
+        let cured = action.at_least_as_strong_as(truth.required_action());
+        let et = ErrorType::of(truth);
+        let cost = match self.estimation {
+            CostEstimation::PreferActual => truth
+                .nth_action_cost(action, cured, occurrence)
+                .map(|c| c.as_secs_f64())
+                .unwrap_or_else(|| self.average_cost(et, action, cured)),
+            CostEstimation::AverageOnly => self.average_cost(et, action, cured),
+        };
+        AttemptOutcome { cured, cost }
+    }
+
+    /// The detection lead charged for a replay of `truth`: the actual
+    /// logged lead in [`CostEstimation::PreferActual`] mode, the per-type
+    /// average otherwise.
+    pub fn replay_detection_lead(&self, truth: &RecoveryProcess) -> f64 {
+        match self.estimation {
+            CostEstimation::PreferActual => truth.detection_lead().as_secs_f64(),
+            CostEstimation::AverageOnly => self.average_detection_lead(ErrorType::of(truth)),
+        }
+    }
+
+    /// Replays an entire policy against one ground-truth process.
+    ///
+    /// At each failure state the policy is consulted; after
+    /// `max_attempts - 1` failed attempts the platform forces `RMA`
+    /// (manual repair), the paper's N-cap. If the policy returns no
+    /// decision for a state the replay ends [`ReplayEnd::Unhandled`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero.
+    pub fn replay<P: DecidePolicy + ?Sized>(
+        &self,
+        truth: &RecoveryProcess,
+        policy: &P,
+        max_attempts: usize,
+    ) -> Replay {
+        assert!(max_attempts > 0, "need at least one attempt");
+        let mut state = RecoveryState::initial(ErrorType::of(truth));
+        let mut attempts: Vec<(RepairAction, AttemptOutcome)> = Vec::new();
+        let detection_lead = self.replay_detection_lead(truth);
+        loop {
+            let action = if attempts.len() + 1 >= max_attempts {
+                RepairAction::Rma
+            } else {
+                match policy.decide(&state) {
+                    Some(a) => a,
+                    None => {
+                        return Replay {
+                            end: ReplayEnd::Unhandled {
+                                attempts: attempts.len(),
+                            },
+                            attempts,
+                            detection_lead,
+                        }
+                    }
+                }
+            };
+            let occurrence = attempts.iter().filter(|(a, _)| *a == action).count();
+            let outcome = self.attempt(truth, action, occurrence);
+            attempts.push((action, outcome));
+            if outcome.cured {
+                return Replay {
+                    end: ReplayEnd::Cured,
+                    attempts,
+                    detection_lead,
+                };
+            }
+            state = state.after(action);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recovery_simlog::{ActionRecord, MachineId, SimTime, SymptomId};
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    /// symptom@0, TRYNOP@100 (fails, 600 s), REBOOT@700 (cures, 1300 s),
+    /// Success@2000. Required action: REBOOT.
+    fn reboot_process() -> RecoveryProcess {
+        RecoveryProcess::new(
+            MachineId::new(1),
+            vec![(t(0), SymptomId::new(5))],
+            vec![
+                ActionRecord {
+                    time: t(100),
+                    action: RepairAction::TryNop,
+                },
+                ActionRecord {
+                    time: t(700),
+                    action: RepairAction::Reboot,
+                },
+            ],
+            t(2000),
+        )
+    }
+
+    /// A second process of the same type cured directly by REBOOT.
+    fn reboot_process_2() -> RecoveryProcess {
+        RecoveryProcess::new(
+            MachineId::new(2),
+            vec![(t(10_000), SymptomId::new(5))],
+            vec![ActionRecord {
+                time: t(10_200),
+                action: RepairAction::Reboot,
+            }],
+            t(11_200),
+        )
+    }
+
+    fn platform(estimation: CostEstimation) -> SimulationPlatform {
+        SimulationPlatform::from_processes(&[reboot_process(), reboot_process_2()], estimation)
+    }
+
+    /// A policy that always answers with a fixed action.
+    #[derive(Debug)]
+    struct Always(RepairAction);
+    impl DecidePolicy for Always {
+        fn decide(&self, _s: &RecoveryState) -> Option<RepairAction> {
+            Some(self.0)
+        }
+        fn name(&self) -> &str {
+            "always"
+        }
+    }
+
+    /// A policy that knows nothing.
+    #[derive(Debug)]
+    struct Clueless;
+    impl DecidePolicy for Clueless {
+        fn decide(&self, _s: &RecoveryState) -> Option<RepairAction> {
+            None
+        }
+        fn name(&self) -> &str {
+            "clueless"
+        }
+    }
+
+    #[test]
+    fn h1_h2_verdicts() {
+        let p = platform(CostEstimation::PreferActual);
+        let truth = reboot_process();
+        assert!(!p.attempt(&truth, RepairAction::TryNop, 0).cured);
+        assert!(p.attempt(&truth, RepairAction::Reboot, 0).cured);
+        assert!(
+            p.attempt(&truth, RepairAction::Reimage, 0).cured,
+            "H2: stronger replaces weaker"
+        );
+        assert!(p.attempt(&truth, RepairAction::Rma, 0).cured);
+    }
+
+    #[test]
+    fn prefer_actual_charges_logged_costs() {
+        let p = platform(CostEstimation::PreferActual);
+        let truth = reboot_process();
+        // TRYNOP failed in the log, 600 s.
+        assert_eq!(p.attempt(&truth, RepairAction::TryNop, 0).cost, 600.0);
+        // REBOOT cured in the log, 1300 s.
+        assert_eq!(p.attempt(&truth, RepairAction::Reboot, 0).cost, 1300.0);
+        // A second TRYNOP attempt has no matching log entry → average.
+        let avg = p.average_cost(
+            ErrorType::new(SymptomId::new(5)),
+            RepairAction::TryNop,
+            false,
+        );
+        assert_eq!(p.attempt(&truth, RepairAction::TryNop, 1).cost, avg);
+    }
+
+    #[test]
+    fn average_only_ignores_actuals() {
+        let p = platform(CostEstimation::AverageOnly);
+        let truth = reboot_process();
+        // Average success cost of REBOOT over the two processes:
+        // (1300 + 1000) / 2 = 1150.
+        assert_eq!(p.attempt(&truth, RepairAction::Reboot, 0).cost, 1150.0);
+    }
+
+    #[test]
+    fn averages_fall_back_to_global_then_baseline() {
+        let p = platform(CostEstimation::AverageOnly);
+        let other_type = ErrorType::new(SymptomId::new(99));
+        // REBOOT success was seen globally → global average.
+        assert_eq!(
+            p.average_cost(other_type, RepairAction::Reboot, true),
+            1150.0
+        );
+        // REIMAGE was never seen anywhere → baseline duration.
+        assert_eq!(
+            p.average_cost(other_type, RepairAction::Reimage, true),
+            RepairAction::Reimage.baseline_duration().as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn detection_lead_modes() {
+        let truth = reboot_process();
+        let actual = platform(CostEstimation::PreferActual);
+        assert_eq!(actual.replay_detection_lead(&truth), 100.0);
+        let avg = platform(CostEstimation::AverageOnly);
+        // Leads: 100 and 200 → average 150.
+        assert_eq!(avg.replay_detection_lead(&truth), 150.0);
+    }
+
+    #[test]
+    fn replay_of_adequate_policy_cures() {
+        let p = platform(CostEstimation::PreferActual);
+        let truth = reboot_process();
+        let replay = p.replay(&truth, &Always(RepairAction::Reboot), 20);
+        assert!(replay.handled());
+        assert_eq!(replay.attempts.len(), 1);
+        // Detection 100 + actual REBOOT success 1300.
+        assert_eq!(replay.total_cost(), 1400.0);
+    }
+
+    #[test]
+    fn replay_reproduces_the_logged_sequence_cost_exactly() {
+        // Replaying the logged sequence (TRYNOP then REBOOT) in
+        // PreferActual mode recovers the process's true downtime.
+        #[derive(Debug)]
+        struct Ladder;
+        impl DecidePolicy for Ladder {
+            fn decide(&self, s: &RecoveryState) -> Option<RepairAction> {
+                Some(if s.tried().is_empty() {
+                    RepairAction::TryNop
+                } else {
+                    RepairAction::Reboot
+                })
+            }
+            fn name(&self) -> &str {
+                "ladder"
+            }
+        }
+        let p = platform(CostEstimation::PreferActual);
+        let truth = reboot_process();
+        let replay = p.replay(&truth, &Ladder, 20);
+        assert!(replay.handled());
+        assert_eq!(replay.total_cost(), truth.downtime().as_secs_f64());
+    }
+
+    #[test]
+    fn weak_policy_hits_the_cap_and_is_rescued_by_forced_rma() {
+        let p = platform(CostEstimation::PreferActual);
+        let truth = reboot_process();
+        let replay = p.replay(&truth, &Always(RepairAction::TryNop), 5);
+        assert!(replay.handled(), "forced RMA at the cap always cures");
+        assert_eq!(replay.attempts.len(), 5);
+        assert_eq!(replay.attempts[4].0, RepairAction::Rma);
+        assert!(replay.attempts[..4]
+            .iter()
+            .all(|(a, o)| *a == RepairAction::TryNop && !o.cured));
+    }
+
+    #[test]
+    fn clueless_policy_is_unhandled_immediately() {
+        let p = platform(CostEstimation::PreferActual);
+        let truth = reboot_process();
+        let replay = p.replay(&truth, &Clueless, 20);
+        assert_eq!(replay.end, ReplayEnd::Unhandled { attempts: 0 });
+        assert!(!replay.handled());
+        assert!(replay.attempts.is_empty());
+    }
+
+    #[test]
+    fn with_estimation_switches_mode() {
+        let p = platform(CostEstimation::PreferActual);
+        let q = p.with_estimation(CostEstimation::AverageOnly);
+        assert_eq!(q.estimation(), CostEstimation::AverageOnly);
+        assert_eq!(p.estimation(), CostEstimation::PreferActual);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn replay_rejects_zero_cap() {
+        let p = platform(CostEstimation::PreferActual);
+        let _ = p.replay(&reboot_process(), &Clueless, 0);
+    }
+}

@@ -1,0 +1,242 @@
+//! MDP state representation (paper §3.2).
+//!
+//! A state is a tuple *(error type, recovery result, actions tried so
+//! far)*. Only failure states carry decisions — once the result flips to
+//! *health* the episode is over — so the Q-table is keyed by
+//! [`RecoveryState`] = (error type, tried-action multiset) and health is
+//! represented by episode termination.
+//!
+//! The order in which past actions were tried does not change what is
+//! knowable about the fault under hypotheses H1/H2 (only *which* actions
+//! failed matters), so the multiset encoding keeps the state space compact
+//! without losing the Markov property.
+
+use std::fmt;
+
+use recovery_simlog::RepairAction;
+
+use crate::error_type::ErrorType;
+
+/// A multiset of repair actions, stored as per-action counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct ActionMultiset([u8; RepairAction::COUNT]);
+
+impl ActionMultiset {
+    /// The empty multiset (no actions tried yet).
+    pub const EMPTY: ActionMultiset = ActionMultiset([0; RepairAction::COUNT]);
+
+    /// Builds a multiset from a sequence of actions.
+    pub fn from_actions<I: IntoIterator<Item = RepairAction>>(actions: I) -> Self {
+        let mut m = ActionMultiset::EMPTY;
+        for a in actions {
+            m = m.with(a);
+        }
+        m
+    }
+
+    /// This multiset with one more occurrence of `action`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count of `action` would exceed 255 — far beyond the
+    /// paper's N = 20 episode cap, so reaching it indicates a runaway
+    /// episode loop.
+    pub fn with(mut self, action: RepairAction) -> Self {
+        let c = &mut self.0[action.index()];
+        *c = c
+            .checked_add(1)
+            .expect("action count overflow: runaway episode");
+        self
+    }
+
+    /// How many times `action` occurs.
+    pub fn count(&self, action: RepairAction) -> u8 {
+        self.0[action.index()]
+    }
+
+    /// Total number of actions in the multiset.
+    pub fn total(&self) -> usize {
+        self.0.iter().map(|&c| c as usize).sum()
+    }
+
+    /// Whether no actions have been tried.
+    pub fn is_empty(&self) -> bool {
+        self.0.iter().all(|&c| c == 0)
+    }
+
+    /// The strongest action present, or `None` when empty. Under
+    /// hypothesis H2 this determines everything the failures so far reveal
+    /// about the fault.
+    pub fn strongest(&self) -> Option<RepairAction> {
+        RepairAction::ALL
+            .into_iter()
+            .rev()
+            .find(|a| self.count(*a) > 0)
+    }
+
+    /// Iterates the contained actions, weakest first, with multiplicity.
+    pub fn iter(&self) -> impl Iterator<Item = RepairAction> + '_ {
+        RepairAction::ALL
+            .into_iter()
+            .flat_map(move |a| std::iter::repeat_n(a, self.count(a) as usize))
+    }
+}
+
+impl fmt::Display for ActionMultiset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for a in RepairAction::ALL {
+            let c = self.count(a);
+            if c > 0 {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}x{c}")?;
+                first = false;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<RepairAction> for ActionMultiset {
+    fn from_iter<I: IntoIterator<Item = RepairAction>>(iter: I) -> Self {
+        ActionMultiset::from_actions(iter)
+    }
+}
+
+/// One non-terminal MDP state: the inferred error type plus the multiset
+/// of repair actions already tried (and failed) in this recovery process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecoveryState {
+    error_type: ErrorType,
+    tried: ActionMultiset,
+}
+
+impl RecoveryState {
+    /// The initial state of a recovery process of the given type.
+    pub fn initial(error_type: ErrorType) -> Self {
+        RecoveryState {
+            error_type,
+            tried: ActionMultiset::EMPTY,
+        }
+    }
+
+    /// A state with an explicit tried multiset.
+    pub fn new(error_type: ErrorType, tried: ActionMultiset) -> Self {
+        RecoveryState { error_type, tried }
+    }
+
+    /// The error type of the ongoing process.
+    pub fn error_type(&self) -> ErrorType {
+        self.error_type
+    }
+
+    /// The actions tried (and failed) so far.
+    pub fn tried(&self) -> ActionMultiset {
+        self.tried
+    }
+
+    /// The successor state after `action` fails.
+    pub fn after(&self, action: RepairAction) -> Self {
+        RecoveryState {
+            error_type: self.error_type,
+            tried: self.tried.with(action),
+        }
+    }
+
+    /// Number of attempts made so far.
+    pub fn attempts(&self) -> usize {
+        self.tried.total()
+    }
+}
+
+impl fmt::Display for RecoveryState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.error_type, self.tried)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recovery_simlog::SymptomId;
+
+    fn et(n: u32) -> ErrorType {
+        ErrorType::new(SymptomId::new(n))
+    }
+
+    #[test]
+    fn multiset_counts_actions() {
+        let m = ActionMultiset::from_actions([
+            RepairAction::Reboot,
+            RepairAction::TryNop,
+            RepairAction::Reboot,
+        ]);
+        assert_eq!(m.count(RepairAction::Reboot), 2);
+        assert_eq!(m.count(RepairAction::TryNop), 1);
+        assert_eq!(m.count(RepairAction::Rma), 0);
+        assert_eq!(m.total(), 3);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn multiset_order_does_not_matter() {
+        let a = ActionMultiset::from_actions([RepairAction::TryNop, RepairAction::Reboot]);
+        let b = ActionMultiset::from_actions([RepairAction::Reboot, RepairAction::TryNop]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn strongest_reflects_ladder() {
+        assert_eq!(ActionMultiset::EMPTY.strongest(), None);
+        let m = ActionMultiset::from_actions([RepairAction::TryNop, RepairAction::Reimage]);
+        assert_eq!(m.strongest(), Some(RepairAction::Reimage));
+    }
+
+    #[test]
+    fn iter_reproduces_multiplicities() {
+        let m = ActionMultiset::from_actions([RepairAction::Reboot, RepairAction::Reboot]);
+        let v: Vec<_> = m.iter().collect();
+        assert_eq!(v, vec![RepairAction::Reboot, RepairAction::Reboot]);
+        let rebuilt: ActionMultiset = m.iter().collect();
+        assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let m = ActionMultiset::from_actions([RepairAction::TryNop, RepairAction::TryNop]);
+        assert_eq!(m.to_string(), "{TRYNOPx2}");
+        assert_eq!(ActionMultiset::EMPTY.to_string(), "{}");
+    }
+
+    #[test]
+    fn state_transitions_accumulate() {
+        let s0 = RecoveryState::initial(et(3));
+        assert_eq!(s0.attempts(), 0);
+        let s1 = s0.after(RepairAction::TryNop);
+        let s2 = s1.after(RepairAction::Reboot);
+        assert_eq!(s2.attempts(), 2);
+        assert_eq!(s2.error_type(), et(3));
+        assert_eq!(s2.tried().count(RepairAction::TryNop), 1);
+        assert_ne!(s1, s2);
+        // Same error type + same multiset = same state (Markov key).
+        let s2b = s0.after(RepairAction::Reboot).after(RepairAction::TryNop);
+        assert_eq!(s2, s2b);
+    }
+
+    #[test]
+    fn states_of_different_types_differ() {
+        assert_ne!(RecoveryState::initial(et(1)), RecoveryState::initial(et(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn with_panics_on_count_overflow() {
+        let mut m = ActionMultiset::EMPTY;
+        for _ in 0..=255 {
+            m = m.with(RepairAction::TryNop);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Boltzmann (softmax) exploration with annealed temperature.
+
+use rand::Rng;
+
+/// A temperature schedule for annealed exploration: high temperature early
+/// (near-uniform exploration), low temperature late (near-greedy search) —
+/// the paper's simulated-annealing-style two-phase learning course (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TemperatureSchedule {
+    /// `T(k) = t0 * decay^k`, clamped below at `floor`.
+    Geometric {
+        /// Initial temperature.
+        t0: f64,
+        /// Multiplicative decay per step, in `(0, 1)`.
+        decay: f64,
+        /// Minimum temperature.
+        floor: f64,
+    },
+    /// `T(k) = t0 / (1 + k)`, clamped below at `floor`.
+    Harmonic {
+        /// Initial temperature.
+        t0: f64,
+        /// Minimum temperature.
+        floor: f64,
+    },
+    /// A fixed temperature.
+    Constant(f64),
+}
+
+impl TemperatureSchedule {
+    /// The temperature at step `k` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule parameters are invalid (non-positive
+    /// temperatures, geometric decay outside `(0, 1)`).
+    pub fn temperature(&self, k: u64) -> f64 {
+        match *self {
+            TemperatureSchedule::Geometric { t0, decay, floor } => {
+                assert!(t0 > 0.0 && floor > 0.0, "temperatures must be positive");
+                assert!(
+                    (0.0..1.0).contains(&decay) && decay > 0.0,
+                    "decay must be in (0, 1)"
+                );
+                (t0 * decay.powi(k.min(i32::MAX as u64) as i32)).max(floor)
+            }
+            TemperatureSchedule::Harmonic { t0, floor } => {
+                assert!(t0 > 0.0 && floor > 0.0, "temperatures must be positive");
+                (t0 / (1.0 + k as f64)).max(floor)
+            }
+            TemperatureSchedule::Constant(t) => {
+                assert!(t > 0.0, "temperature must be positive");
+                t
+            }
+        }
+    }
+}
+
+impl Default for TemperatureSchedule {
+    /// A geometric anneal suited to repair-time costs measured in seconds:
+    /// starts hot enough that hour-scale cost differences barely bias
+    /// selection, cools to near-greedy within a few thousand steps.
+    fn default() -> Self {
+        TemperatureSchedule::Geometric {
+            t0: 20_000.0,
+            decay: 0.999,
+            floor: 1.0,
+        }
+    }
+}
+
+/// Boltzmann action selection over *costs* (the paper's Eq. 5):
+///
+/// ```text
+/// P(a | s) = exp(-Q(s, a) / T) / Σ_a' exp(-Q(s, a') / T)
+/// ```
+///
+/// Low-cost actions are exponentially favoured as `T` drops.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BoltzmannSelector;
+
+impl BoltzmannSelector {
+    /// Creates a selector.
+    pub fn new() -> Self {
+        BoltzmannSelector
+    }
+
+    /// The selection probabilities for the given costs at temperature `t`.
+    /// Numerically stable (shifts by the minimum cost before
+    /// exponentiating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs` is empty, `t` is not strictly positive, or any
+    /// cost is not finite.
+    pub fn probabilities(&self, costs: &[f64], t: f64) -> Vec<f64> {
+        assert!(!costs.is_empty(), "need at least one action");
+        assert!(t > 0.0, "temperature must be positive, got {t}");
+        assert!(
+            costs.iter().all(|c| c.is_finite()),
+            "costs must be finite: {costs:?}"
+        );
+        let min = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let weights: Vec<f64> = costs.iter().map(|&c| (-(c - min) / t).exp()).collect();
+        let total: f64 = weights.iter().sum();
+        weights.into_iter().map(|w| w / total).collect()
+    }
+
+    /// Samples an action index proportional to `exp(-cost / t)`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`BoltzmannSelector::probabilities`].
+    pub fn select<R: Rng + ?Sized>(&self, costs: &[f64], t: f64, rng: &mut R) -> usize {
+        let probs = self.probabilities(costs, t);
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (i, p) in probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return i;
+            }
+        }
+        probs.len() - 1 // floating-point slack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let s = BoltzmannSelector::new();
+        for t in [0.1, 1.0, 100.0, 1e6] {
+            let p = s.probabilities(&[3.0, 1.0, 10.0, 5.5], t);
+            let total: f64 = p.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12, "T = {t}: total {total}");
+            assert!(p.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn cheaper_actions_are_more_likely() {
+        let s = BoltzmannSelector::new();
+        let p = s.probabilities(&[1.0, 2.0, 3.0], 1.0);
+        assert!(p[0] > p[1] && p[1] > p[2], "{p:?}");
+    }
+
+    #[test]
+    fn high_temperature_approaches_uniform() {
+        let s = BoltzmannSelector::new();
+        let p = s.probabilities(&[0.0, 1000.0], 1e9);
+        assert!((p[0] - 0.5).abs() < 1e-3, "{p:?}");
+    }
+
+    #[test]
+    fn low_temperature_approaches_greedy() {
+        let s = BoltzmannSelector::new();
+        let p = s.probabilities(&[0.0, 1.0], 1e-3);
+        assert!(p[0] > 0.999, "{p:?}");
+    }
+
+    #[test]
+    fn select_matches_probabilities_empirically() {
+        let s = BoltzmannSelector::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let costs = [0.0, 1.0];
+        let t = 1.0;
+        let expect = s.probabilities(&costs, t);
+        let n = 50_000;
+        let hits = (0..n)
+            .filter(|_| s.select(&costs, t, &mut rng) == 0)
+            .count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - expect[0]).abs() < 0.01, "freq {freq} vs {expect:?}");
+    }
+
+    #[test]
+    fn huge_cost_gaps_are_numerically_stable() {
+        let s = BoltzmannSelector::new();
+        let p = s.probabilities(&[1e7, 1e12, 3e6], 10.0);
+        assert!(p.iter().all(|x| x.is_finite()));
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p[2] > 0.999);
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn rejects_zero_temperature() {
+        let _ = BoltzmannSelector::new().probabilities(&[1.0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one action")]
+    fn rejects_empty_costs() {
+        let _ = BoltzmannSelector::new().probabilities(&[], 1.0);
+    }
+
+    #[test]
+    fn geometric_schedule_decays_to_floor() {
+        let sched = TemperatureSchedule::Geometric {
+            t0: 100.0,
+            decay: 0.5,
+            floor: 2.0,
+        };
+        assert_eq!(sched.temperature(0), 100.0);
+        assert_eq!(sched.temperature(1), 50.0);
+        assert_eq!(sched.temperature(60), 2.0, "clamped at the floor");
+    }
+
+    #[test]
+    fn harmonic_schedule_decays_to_floor() {
+        let sched = TemperatureSchedule::Harmonic {
+            t0: 10.0,
+            floor: 0.5,
+        };
+        assert_eq!(sched.temperature(0), 10.0);
+        assert_eq!(sched.temperature(9), 1.0);
+        assert_eq!(sched.temperature(1000), 0.5);
+    }
+
+    #[test]
+    fn constant_schedule_is_constant() {
+        let sched = TemperatureSchedule::Constant(4.2);
+        assert_eq!(sched.temperature(0), 4.2);
+        assert_eq!(sched.temperature(1_000_000), 4.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay")]
+    fn rejects_bad_decay() {
+        let sched = TemperatureSchedule::Geometric {
+            t0: 1.0,
+            decay: 1.5,
+            floor: 0.1,
+        };
+        let _ = sched.temperature(0);
+    }
+}

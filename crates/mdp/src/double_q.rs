@@ -1,0 +1,306 @@
+//! Double Q-learning (van Hasselt, 2010) for cost minimization.
+//!
+//! Plain Q-learning's backup takes `min` over noisy estimates, which is
+//! biased *low* for costs (the optimizer's curse): a lucky under-sampled
+//! pair looks cheap and attracts the backup. Building this reproduction
+//! surfaced exactly that failure mode in the paper-faithful learner (see
+//! `DESIGN.md` §8.3), so the workspace ships double Q-learning as a
+//! principled mitigation and ablation arm: two tables, each updated
+//! toward the other's evaluation of its own greedy action, cancel the
+//! selection/evaluation correlation that causes the bias.
+//!
+//! The update for table A (B is symmetric, chosen by a coin flip per
+//! transition):
+//!
+//! ```text
+//! a* = argmin_a Q_A(s', a)                 (selection by A)
+//! target = cost + Q_B(s', a*)              (evaluation by B)
+//! Q_A(s, a) ← Eq. 6 update toward target
+//! ```
+
+use rand::Rng;
+
+use crate::boltzmann::BoltzmannSelector;
+use crate::env::{Environment, Step};
+use crate::qlearning::{QLearningConfig, TrainResult};
+use crate::qtable::QTable;
+
+/// One episode's recorded transitions: `(state, action, cost, next)`.
+type Trajectory<S, A> = Vec<(S, A, f64, Option<S>)>;
+
+/// Double Q-learning driver; configured by the same [`QLearningConfig`]
+/// as the plain driver (the `backward_updates` and `explored_backup`
+/// flags apply here too).
+///
+/// ```
+/// use recovery_mdp::{DoubleQLearning, QLearningConfig, SampledMdp, TabularMdp};
+/// use rand::SeedableRng;
+///
+/// let mut mdp = TabularMdp::new(2, 1);
+/// mdp.set_cost(0, 0, 5.0);
+/// mdp.add_transition(0, 0, 1.0, 1);
+/// mdp.set_terminal(1);
+/// let mut env = SampledMdp::new(&mdp, rand::rngs::StdRng::seed_from_u64(1), vec![0]);
+/// let config = QLearningConfig { max_episodes: 500, ..QLearningConfig::default() };
+/// let result = DoubleQLearning::new(config)
+///     .train(&mut env, &mut rand::rngs::StdRng::seed_from_u64(2));
+/// let (_, value) = result.q.best_action(&0usize, &[0]).unwrap();
+/// assert!((value - 5.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DoubleQLearning {
+    config: QLearningConfig,
+    selector: BoltzmannSelector,
+}
+
+impl DoubleQLearning {
+    /// Creates a driver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: QLearningConfig) -> Self {
+        config.validate();
+        DoubleQLearning {
+            config,
+            selector: BoltzmannSelector::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &QLearningConfig {
+        &self.config
+    }
+
+    /// Trains both tables and returns their *average* as the learned
+    /// Q-function (the standard way to read out a double-Q learner),
+    /// along with sweep statistics.
+    pub fn train<E, R>(&self, env: &mut E, rng: &mut R) -> TrainResult<E::State, E::Action>
+    where
+        E: Environment,
+        R: Rng + ?Sized,
+    {
+        let mut qa: QTable<E::State, E::Action> = QTable::new();
+        let mut qb: QTable<E::State, E::Action> = QTable::new();
+        let mut calm_streak = 0u64;
+        let mut episodes = 0u64;
+        let mut converged = false;
+
+        while episodes < self.config.max_episodes {
+            let temperature = self.config.schedule.temperature(episodes);
+            episodes += 1;
+
+            // Walk one episode, selecting actions by the averaged tables.
+            let mut state = env.reset();
+            let mut record: Trajectory<E::State, E::Action> = Vec::new();
+            for _ in 0..self.config.max_steps {
+                let actions = env.actions(&state);
+                debug_assert!(!actions.is_empty(), "reachable states must offer actions");
+                let costs: Vec<f64> = actions
+                    .iter()
+                    .map(|&a| {
+                        let va = qa.value_or(&state, a, self.config.default_q);
+                        let vb = qb.value_or(&state, a, self.config.default_q);
+                        (va + vb) / 2.0
+                    })
+                    .collect();
+                let action = actions[self.selector.select(&costs, temperature, rng)];
+                let Step { cost, next } = env.step(&state, action);
+                let done = next.is_none();
+                record.push((state.clone(), action, cost, next.clone()));
+                if let Some(s) = next {
+                    state = s;
+                }
+                if done {
+                    break;
+                }
+            }
+
+            if self.config.backward_updates {
+                record.reverse();
+            }
+            let mut max_delta = 0.0f64;
+            for (s, a, cost, next) in record {
+                // Coin flip: which table learns this transition.
+                let a_learns = rng.gen_bool(0.5);
+                let (learner, evaluator) = if a_learns {
+                    (&mut qa, &qb)
+                } else {
+                    (&mut qb, &qa)
+                };
+                let future = match &next {
+                    Some(s2) => {
+                        let actions = env.actions(s2);
+                        // Selection by the learner's own estimates …
+                        let chosen = actions
+                            .iter()
+                            .copied()
+                            .filter(|&a2| {
+                                !self.config.explored_backup || learner.value(s2, a2).is_some()
+                            })
+                            .min_by(|&x, &y| {
+                                let vx = learner.value_or(s2, x, self.config.default_q);
+                                let vy = learner.value_or(s2, y, self.config.default_q);
+                                vx.partial_cmp(&vy).expect("finite Q values")
+                            });
+                        match chosen {
+                            // … evaluation by the other table.
+                            Some(a2) => evaluator.value_or(
+                                s2,
+                                a2,
+                                learner.value_or(s2, a2, self.config.default_q),
+                            ),
+                            None => self.config.default_q,
+                        }
+                    }
+                    None => 0.0,
+                };
+                let target = cost + future;
+                max_delta = max_delta.max(learner.update(s, a, target));
+            }
+
+            if max_delta < self.config.convergence_tol {
+                calm_streak += 1;
+                if calm_streak >= self.config.convergence_window {
+                    converged = true;
+                    break;
+                }
+            } else {
+                calm_streak = 0;
+            }
+        }
+
+        // Read out the average of the two tables.
+        let mut q: QTable<E::State, E::Action> = QTable::new();
+        for ((s, a), va, _) in qa.iter() {
+            let avg = match qb.value(s, *a) {
+                Some(vb) => (va + vb) / 2.0,
+                None => va,
+            };
+            q.set(s.clone(), *a, avg);
+        }
+        for ((s, a), vb, _) in qb.iter() {
+            if q.value(s, *a).is_none() {
+                q.set(s.clone(), *a, vb);
+            }
+        }
+
+        TrainResult {
+            q,
+            episodes,
+            converged,
+            sweeps_to_convergence: converged.then_some(episodes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::SampledMdp;
+    use crate::tabular::{value_iteration, TabularMdp};
+    use crate::TemperatureSchedule;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain() -> TabularMdp {
+        let mut mdp = TabularMdp::new(3, 2);
+        mdp.set_cost(0, 0, 10.0);
+        mdp.add_transition(0, 0, 1.0, 2);
+        mdp.set_cost(0, 1, 3.0);
+        mdp.add_transition(0, 1, 1.0, 1);
+        mdp.set_cost(1, 0, 3.0);
+        mdp.add_transition(1, 0, 1.0, 2);
+        mdp.set_cost(1, 1, 8.0);
+        mdp.add_transition(1, 1, 1.0, 2);
+        mdp.set_terminal(2);
+        mdp
+    }
+
+    fn config() -> QLearningConfig {
+        QLearningConfig {
+            max_episodes: 30_000,
+            schedule: TemperatureSchedule::Geometric {
+                t0: 50.0,
+                decay: 0.9995,
+                floor: 0.01,
+            },
+            convergence_tol: 0.01,
+            convergence_window: 200,
+            ..QLearningConfig::default()
+        }
+    }
+
+    #[test]
+    fn learns_the_optimal_chain_policy() {
+        let mdp = chain();
+        let exact = value_iteration(&mdp, 1.0, 1e-12, 1000);
+        let mut env = SampledMdp::new(&mdp, StdRng::seed_from_u64(1), vec![0]);
+        let result = DoubleQLearning::new(config()).train(&mut env, &mut StdRng::seed_from_u64(2));
+        for s in 0..2usize {
+            let (best, v) = result.q.best_action(&s, &[0, 1]).unwrap();
+            assert_eq!(Some(best), exact.policy[s], "state {s}");
+            assert!(
+                (v - exact.values[s]).abs() < 0.6,
+                "state {s}: learned {v} vs exact {}",
+                exact.values[s]
+            );
+        }
+    }
+
+    #[test]
+    fn matches_value_iteration_on_random_mdps() {
+        for seed in 0..4u64 {
+            let mut model_rng = StdRng::seed_from_u64(3_000 + seed);
+            let mdp = TabularMdp::random_episodic(5, 3, &mut model_rng);
+            let exact = value_iteration(&mdp, 1.0, 1e-12, 10_000);
+            let mut env = SampledMdp::new(&mdp, StdRng::seed_from_u64(seed), vec![0]);
+            let cfg = QLearningConfig {
+                max_episodes: 60_000,
+                schedule: TemperatureSchedule::Geometric {
+                    t0: 100.0,
+                    decay: 0.9995,
+                    floor: 0.05,
+                },
+                convergence_tol: 0.05,
+                convergence_window: 300,
+                ..QLearningConfig::default()
+            };
+            let result =
+                DoubleQLearning::new(cfg).train(&mut env, &mut StdRng::seed_from_u64(99 + seed));
+            let (_, v0) = result.q.best_action(&0usize, &[0, 1, 2]).unwrap();
+            let rel = (v0 - exact.values[0]).abs() / exact.values[0].max(1.0);
+            assert!(
+                rel < 0.12,
+                "seed {seed}: {v0} vs {} (rel {rel})",
+                exact.values[0]
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let mdp = chain();
+        let run = || {
+            let mut env = SampledMdp::new(&mdp, StdRng::seed_from_u64(7), vec![0]);
+            let r = DoubleQLearning::new(config()).train(&mut env, &mut StdRng::seed_from_u64(8));
+            (r.episodes, r.q.value(&0usize, 1))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn respects_the_episode_cap() {
+        let mdp = chain();
+        let mut env = SampledMdp::new(&mdp, StdRng::seed_from_u64(1), vec![0]);
+        let cfg = QLearningConfig {
+            max_episodes: 25,
+            convergence_tol: 1e-12,
+            convergence_window: 1_000,
+            ..config()
+        };
+        let result = DoubleQLearning::new(cfg).train(&mut env, &mut StdRng::seed_from_u64(2));
+        assert_eq!(result.episodes, 25);
+        assert!(!result.converged);
+    }
+}

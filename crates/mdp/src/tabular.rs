@@ -1,0 +1,388 @@
+//! Explicit finite MDPs and exact dynamic-programming solutions.
+//!
+//! Used as ground truth in tests: Q-learning run on a sampled version of a
+//! [`TabularMdp`] must converge to the values and policy that
+//! [`value_iteration`] computes exactly.
+
+use rand::Rng;
+
+/// An explicit finite MDP with dense state/action indices, sparse
+/// transitions, per-`(s, a)` costs, and absorbing terminal states.
+///
+/// Costs are minimized (the recovery-time convention of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TabularMdp {
+    n_states: usize,
+    n_actions: usize,
+    /// `transitions[s][a]` = list of `(probability, next_state)`.
+    transitions: Vec<Vec<Vec<(f64, usize)>>>,
+    /// `costs[s][a]` = immediate cost of taking `a` in `s`.
+    costs: Vec<Vec<f64>>,
+    terminal: Vec<bool>,
+}
+
+impl TabularMdp {
+    /// Creates an MDP with `n_states` states and `n_actions` actions, no
+    /// transitions, zero costs, and no terminal states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(n_states: usize, n_actions: usize) -> Self {
+        assert!(
+            n_states > 0 && n_actions > 0,
+            "MDP dimensions must be positive"
+        );
+        TabularMdp {
+            n_states,
+            n_actions,
+            transitions: vec![vec![Vec::new(); n_actions]; n_states],
+            costs: vec![vec![0.0; n_actions]; n_states],
+            terminal: vec![false; n_states],
+        }
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// Number of actions.
+    pub fn n_actions(&self) -> usize {
+        self.n_actions
+    }
+
+    /// Sets the immediate cost of `(s, a)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices or non-finite cost.
+    pub fn set_cost(&mut self, s: usize, a: usize, cost: f64) {
+        self.check(s, a);
+        assert!(cost.is_finite(), "cost must be finite");
+        self.costs[s][a] = cost;
+    }
+
+    /// The immediate cost of `(s, a)`.
+    pub fn cost(&self, s: usize, a: usize) -> f64 {
+        self.check(s, a);
+        self.costs[s][a]
+    }
+
+    /// Adds probability mass `p` of moving from `s` to `next` under `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices, `p` outside `(0, 1]`, or if the
+    /// total outgoing mass of `(s, a)` would exceed 1 (+ε).
+    pub fn add_transition(&mut self, s: usize, a: usize, p: f64, next: usize) {
+        self.check(s, a);
+        assert!(next < self.n_states, "next state {next} out of range");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "transition probability {p} out of (0, 1]"
+        );
+        let total: f64 = self.transitions[s][a].iter().map(|(q, _)| q).sum();
+        assert!(
+            total + p <= 1.0 + 1e-9,
+            "outgoing probability of ({s}, {a}) would exceed 1"
+        );
+        self.transitions[s][a].push((p, next));
+    }
+
+    /// Marks `s` as terminal (absorbing, zero-cost).
+    pub fn set_terminal(&mut self, s: usize) {
+        assert!(s < self.n_states, "state {s} out of range");
+        self.terminal[s] = true;
+    }
+
+    /// Whether `s` is terminal.
+    pub fn is_terminal(&self, s: usize) -> bool {
+        self.terminal[s]
+    }
+
+    /// The outgoing transitions of `(s, a)`.
+    pub fn transitions(&self, s: usize, a: usize) -> &[(f64, usize)] {
+        self.check(s, a);
+        &self.transitions[s][a]
+    }
+
+    /// Checks that every non-terminal `(s, a)` has outgoing probability
+    /// summing to 1 (±1e-6).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending `(s, a)` pair.
+    pub fn validate(&self) -> Result<(), (usize, usize)> {
+        for s in 0..self.n_states {
+            if self.terminal[s] {
+                continue;
+            }
+            for a in 0..self.n_actions {
+                let total: f64 = self.transitions[s][a].iter().map(|(p, _)| p).sum();
+                if (total - 1.0).abs() > 1e-6 {
+                    return Err((s, a));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Samples the next state of `(s, a)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(s, a)` has no outgoing transitions.
+    pub fn sample_next<R: Rng + ?Sized>(&self, s: usize, a: usize, rng: &mut R) -> usize {
+        let ts = self.transitions(s, a);
+        assert!(!ts.is_empty(), "({s}, {a}) has no transitions to sample");
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        for &(p, next) in ts {
+            acc += p;
+            if u < acc {
+                return next;
+            }
+        }
+        ts.last().expect("non-empty").1
+    }
+
+    /// Generates a random *proper* episodic MDP for testing: every action
+    /// either terminates or moves along a DAG toward the terminal state,
+    /// so all policies reach termination and γ = 1 values are finite.
+    pub fn random_episodic<R: Rng + ?Sized>(
+        n_states: usize,
+        n_actions: usize,
+        rng: &mut R,
+    ) -> TabularMdp {
+        assert!(n_states >= 2, "need at least a start and a terminal state");
+        let mut mdp = TabularMdp::new(n_states, n_actions);
+        let terminal = n_states - 1;
+        mdp.set_terminal(terminal);
+        for s in 0..terminal {
+            for a in 0..n_actions {
+                mdp.set_cost(s, a, rng.gen_range(1.0..100.0));
+                // Each action terminates with some probability, otherwise
+                // moves strictly "forward" (toward higher indices), which
+                // guarantees episodes end.
+                let p_term: f64 = rng.gen_range(0.2..0.9);
+                mdp.add_transition(s, a, p_term, terminal);
+                if s + 1 < terminal {
+                    let next = rng.gen_range(s + 1..terminal);
+                    mdp.add_transition(s, a, 1.0 - p_term, next);
+                } else {
+                    mdp.add_transition(s, a, 1.0 - p_term, terminal);
+                }
+            }
+        }
+        mdp
+    }
+
+    fn check(&self, s: usize, a: usize) {
+        assert!(s < self.n_states, "state {s} out of range");
+        assert!(a < self.n_actions, "action {a} out of range");
+    }
+}
+
+/// The output of [`value_iteration`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueIterationResult {
+    /// Optimal expected cost-to-go per state (0 for terminal states).
+    pub values: Vec<f64>,
+    /// Optimal action per state; `None` for terminal states.
+    pub policy: Vec<Option<usize>>,
+    /// Number of sweeps performed.
+    pub sweeps: usize,
+    /// Whether the tolerance was reached before the sweep cap.
+    pub converged: bool,
+}
+
+/// Exact value iteration for cost minimization:
+///
+/// ```text
+/// V(s) = min_a [ c(s, a) + γ Σ_s' P(s' | s, a) V(s') ]
+/// ```
+///
+/// Iterates until the maximum absolute value change is below `tol` or
+/// `max_sweeps` sweeps have run. With γ = 1 the values are finite only for
+/// *proper* MDPs (all policies eventually terminate), which is how the
+/// paper's episode cap justifies convergence.
+///
+/// # Panics
+///
+/// Panics if the MDP fails [`TabularMdp::validate`], if `gamma` is outside
+/// `(0, 1]`, or if `tol` is not positive.
+pub fn value_iteration(
+    mdp: &TabularMdp,
+    gamma: f64,
+    tol: f64,
+    max_sweeps: usize,
+) -> ValueIterationResult {
+    assert!(
+        gamma > 0.0 && gamma <= 1.0,
+        "gamma must be in (0, 1], got {gamma}"
+    );
+    assert!(tol > 0.0, "tolerance must be positive");
+    if let Err((s, a)) = mdp.validate() {
+        panic!("MDP transition probabilities of ({s}, {a}) do not sum to 1");
+    }
+    let n = mdp.n_states();
+    let mut values = vec![0.0f64; n];
+    let mut sweeps = 0;
+    let mut converged = false;
+    while sweeps < max_sweeps {
+        sweeps += 1;
+        let mut max_delta = 0.0f64;
+        for s in 0..n {
+            if mdp.is_terminal(s) {
+                continue;
+            }
+            let mut best = f64::INFINITY;
+            for a in 0..mdp.n_actions() {
+                let mut v = mdp.cost(s, a);
+                for &(p, next) in mdp.transitions(s, a) {
+                    v += gamma * p * values[next];
+                }
+                best = best.min(v);
+            }
+            max_delta = max_delta.max((best - values[s]).abs());
+            values[s] = best;
+        }
+        if max_delta < tol {
+            converged = true;
+            break;
+        }
+    }
+    // Extract the greedy policy from the final values.
+    let policy: Vec<Option<usize>> = (0..n)
+        .map(|s| {
+            if mdp.is_terminal(s) {
+                return None;
+            }
+            let mut best = f64::INFINITY;
+            let mut best_a = 0;
+            for a in 0..mdp.n_actions() {
+                let mut v = mdp.cost(s, a);
+                for &(p, next) in mdp.transitions(s, a) {
+                    v += gamma * p * values[next];
+                }
+                if v < best {
+                    best = v;
+                    best_a = a;
+                }
+            }
+            Some(best_a)
+        })
+        .collect();
+    ValueIterationResult {
+        values,
+        policy,
+        sweeps,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A 3-state chain where jumping straight to terminal costs 10 but
+    /// going through the middle costs 3 + 3 = 6.
+    fn chain() -> TabularMdp {
+        let mut mdp = TabularMdp::new(3, 2);
+        // State 0: action 0 = jump (cost 10), action 1 = step (cost 3).
+        mdp.set_cost(0, 0, 10.0);
+        mdp.add_transition(0, 0, 1.0, 2);
+        mdp.set_cost(0, 1, 3.0);
+        mdp.add_transition(0, 1, 1.0, 1);
+        // State 1: both actions go terminal, action 0 cheaper.
+        mdp.set_cost(1, 0, 3.0);
+        mdp.add_transition(1, 0, 1.0, 2);
+        mdp.set_cost(1, 1, 8.0);
+        mdp.add_transition(1, 1, 1.0, 2);
+        mdp.set_terminal(2);
+        mdp
+    }
+
+    #[test]
+    fn value_iteration_solves_the_chain_exactly() {
+        let r = value_iteration(&chain(), 1.0, 1e-12, 1000);
+        assert!(r.converged);
+        assert!((r.values[0] - 6.0).abs() < 1e-9, "{:?}", r.values);
+        assert!((r.values[1] - 3.0).abs() < 1e-9);
+        assert_eq!(r.values[2], 0.0);
+        assert_eq!(r.policy, vec![Some(1), Some(0), None]);
+    }
+
+    #[test]
+    fn discounting_changes_preferences() {
+        // With a heavy discount, the 2-step path's second cost shrinks,
+        // so it stays optimal; verify the discounted value directly.
+        let r = value_iteration(&chain(), 0.5, 1e-12, 1000);
+        assert!((r.values[0] - (3.0 + 0.5 * 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stochastic_transition_values_are_expectations() {
+        let mut mdp = TabularMdp::new(3, 1);
+        mdp.set_cost(0, 0, 1.0);
+        mdp.add_transition(0, 0, 0.5, 1);
+        mdp.add_transition(0, 0, 0.5, 2);
+        mdp.set_cost(1, 0, 4.0);
+        mdp.add_transition(1, 0, 1.0, 2);
+        mdp.set_terminal(2);
+        let r = value_iteration(&mdp, 1.0, 1e-12, 1000);
+        // V(0) = 1 + 0.5 * V(1) = 1 + 2 = 3.
+        assert!((r.values[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_catches_underspecified_transitions() {
+        let mut mdp = TabularMdp::new(2, 1);
+        mdp.set_terminal(1);
+        mdp.add_transition(0, 0, 0.4, 1);
+        assert_eq!(mdp.validate(), Err((0, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn rejects_overfull_transition_mass() {
+        let mut mdp = TabularMdp::new(2, 1);
+        mdp.add_transition(0, 0, 0.7, 1);
+        mdp.add_transition(0, 0, 0.7, 0);
+    }
+
+    #[test]
+    fn sample_next_follows_distribution() {
+        let mut mdp = TabularMdp::new(3, 1);
+        mdp.add_transition(0, 0, 0.25, 1);
+        mdp.add_transition(0, 0, 0.75, 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 40_000;
+        let to_2 = (0..n)
+            .filter(|_| mdp.sample_next(0, 0, &mut rng) == 2)
+            .count();
+        let freq = to_2 as f64 / n as f64;
+        assert!((freq - 0.75).abs() < 0.01, "{freq}");
+    }
+
+    #[test]
+    fn random_episodic_is_valid_and_proper() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let mdp = TabularMdp::random_episodic(6, 3, &mut rng);
+            assert!(mdp.validate().is_ok());
+            let r = value_iteration(&mdp, 1.0, 1e-9, 10_000);
+            assert!(r.converged, "proper MDPs converge under gamma = 1");
+            assert!(r.values.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn rejects_bad_gamma() {
+        let _ = value_iteration(&chain(), 0.0, 1e-6, 10);
+    }
+}

@@ -1,0 +1,203 @@
+//! Dependability accounting: MTBF, MTTR and availability.
+//!
+//! The paper frames recovery-policy generation in classical
+//! dependability terms (§1): *reliability* is characterized by the mean
+//! time between failures, *availability* by the mean time to repair.
+//! This module computes those figures — per machine and cluster-wide —
+//! from a recovery log, so policy improvements can be reported as
+//! availability gains ("one more nine") rather than raw seconds.
+
+use std::collections::BTreeMap;
+
+use crate::machine::MachineId;
+use crate::process::RecoveryProcess;
+use crate::time::{SimDuration, SimTime};
+
+/// Dependability summary over one observation window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvailabilityReport {
+    /// Machines that appear in the processes.
+    pub machines: usize,
+    /// Recovery processes (failures) observed.
+    pub failures: usize,
+    /// Total downtime across all processes.
+    pub downtime: SimDuration,
+    /// The observation window used for uptime accounting.
+    pub window: SimDuration,
+    /// Mean time to repair: `downtime / failures`.
+    pub mttr: SimDuration,
+    /// Mean time between failures per machine:
+    /// `machines * window / failures`.
+    pub mtbf: SimDuration,
+    /// Availability: `1 - downtime / (machines * window)`.
+    pub availability: f64,
+}
+
+impl AvailabilityReport {
+    /// The number of leading nines of availability (0.99999 → 5, i.e.
+    /// "five nines"). Capped at 9 to keep the arithmetic meaningful at
+    /// simulation precision.
+    pub fn nines(&self) -> u32 {
+        if self.availability >= 1.0 {
+            return 9;
+        }
+        let mut nines = 0;
+        let mut a = self.availability;
+        while nines < 9 && a >= 0.9 {
+            a = (a - 0.9) * 10.0;
+            nines += 1;
+        }
+        nines
+    }
+}
+
+/// Computes the dependability report for `processes` over the window
+/// `[window_start, window_end]`.
+///
+/// ```
+/// use recovery_simlog::{availability, GeneratorConfig, LogGenerator};
+///
+/// let mut generated = LogGenerator::new(GeneratorConfig::small()).generate();
+/// let processes = generated.log.split_processes();
+/// let (start, end) = generated.log.time_span().unwrap();
+/// let report = availability(&processes, start, end);
+/// assert!(report.availability > 0.9 && report.availability < 1.0);
+/// assert!(report.failures == processes.len());
+/// ```
+///
+/// # Panics
+///
+/// Panics if the window is empty (end not after start).
+pub fn availability(
+    processes: &[RecoveryProcess],
+    window_start: SimTime,
+    window_end: SimTime,
+) -> AvailabilityReport {
+    let window = window_end.duration_since(window_start);
+    assert!(
+        window > SimDuration::ZERO,
+        "observation window must be non-empty"
+    );
+    let mut machines: BTreeMap<MachineId, ()> = BTreeMap::new();
+    let mut downtime = SimDuration::ZERO;
+    for p in processes {
+        machines.insert(p.machine(), ());
+        downtime += p.downtime();
+    }
+    let failures = processes.len();
+    let machine_count = machines.len().max(1);
+    let machine_seconds = machine_count as u64 * window.as_secs();
+    let mttr = if failures == 0 {
+        SimDuration::ZERO
+    } else {
+        SimDuration::from_secs(downtime.as_secs() / failures as u64)
+    };
+    let mtbf = if failures == 0 {
+        window
+    } else {
+        SimDuration::from_secs(machine_seconds / failures as u64)
+    };
+    let availability = if machine_seconds == 0 {
+        1.0
+    } else {
+        (1.0 - downtime.as_secs_f64() / machine_seconds as f64).max(0.0)
+    };
+    AvailabilityReport {
+        machines: machines.len(),
+        failures,
+        downtime,
+        window,
+        mttr,
+        mtbf,
+        availability,
+    }
+}
+
+/// Per-machine dependability rows, sorted by machine id.
+pub fn availability_by_machine(
+    processes: &[RecoveryProcess],
+    window_start: SimTime,
+    window_end: SimTime,
+) -> Vec<(MachineId, AvailabilityReport)> {
+    let mut by_machine: BTreeMap<MachineId, Vec<RecoveryProcess>> = BTreeMap::new();
+    for p in processes {
+        by_machine.entry(p.machine()).or_default().push(p.clone());
+    }
+    by_machine
+        .into_iter()
+        .map(|(m, procs)| (m, availability(&procs, window_start, window_end)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symptom::SymptomId;
+
+    fn proc(machine: u32, start: u64, downtime: u64) -> RecoveryProcess {
+        RecoveryProcess::new(
+            MachineId::new(machine),
+            vec![(SimTime::from_secs(start), SymptomId::new(0))],
+            vec![],
+            SimTime::from_secs(start + downtime),
+        )
+    }
+
+    #[test]
+    fn report_matches_hand_computation() {
+        // 2 machines over 1000 s; machine 0 down 100 s, machine 1 down 300 s.
+        let processes = vec![proc(0, 0, 100), proc(1, 200, 300)];
+        let r = availability(&processes, SimTime::EPOCH, SimTime::from_secs(1000));
+        assert_eq!(r.machines, 2);
+        assert_eq!(r.failures, 2);
+        assert_eq!(r.downtime, SimDuration::from_secs(400));
+        assert_eq!(r.mttr, SimDuration::from_secs(200));
+        assert_eq!(r.mtbf, SimDuration::from_secs(1000));
+        assert!((r.availability - 0.8).abs() < 1e-12);
+        assert_eq!(r.nines(), 0);
+    }
+
+    #[test]
+    fn high_availability_counts_nines() {
+        let processes = vec![proc(0, 0, 1)];
+        let r = availability(&processes, SimTime::EPOCH, SimTime::from_secs(100_000));
+        // 0.99999 = 99.999% = "five nines".
+        assert!((r.availability - 0.99999).abs() < 1e-9);
+        assert_eq!(r.nines(), 5);
+    }
+
+    #[test]
+    fn no_failures_is_fully_available() {
+        let r = availability(&[], SimTime::EPOCH, SimTime::from_secs(500));
+        assert_eq!(r.failures, 0);
+        assert_eq!(r.availability, 1.0);
+        assert_eq!(r.mttr, SimDuration::ZERO);
+        assert_eq!(r.mtbf, SimDuration::from_secs(500));
+        assert_eq!(r.nines(), 9);
+    }
+
+    #[test]
+    fn per_machine_rows_split_the_fleet() {
+        let processes = vec![proc(0, 0, 100), proc(0, 500, 100), proc(3, 100, 50)];
+        let rows = availability_by_machine(&processes, SimTime::EPOCH, SimTime::from_secs(1000));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, MachineId::new(0));
+        assert_eq!(rows[0].1.failures, 2);
+        assert_eq!(rows[1].0, MachineId::new(3));
+        assert_eq!(rows[1].1.downtime, SimDuration::from_secs(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn rejects_empty_window() {
+        let _ = availability(&[], SimTime::from_secs(5), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn availability_is_floored_at_zero() {
+        // Downtime exceeding the window (overlapping machines) floors at 0.
+        let processes = vec![proc(0, 0, 5_000)];
+        let r = availability(&processes, SimTime::EPOCH, SimTime::from_secs(1000));
+        assert_eq!(r.availability, 0.0);
+    }
+}

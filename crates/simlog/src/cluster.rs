@@ -1,0 +1,680 @@
+//! Discrete-event cluster simulation.
+//!
+//! [`ClusterSim`] drives a population of machines through fault arrivals
+//! and policy-controlled recovery, emitting a [`RecoveryLog`] with exactly
+//! the event grammar of the paper's production log: error symptoms, repair
+//! actions, and `Success` reports. Faults arrive per machine as a Poisson
+//! process (suspended while the machine is down); the recovery controller
+//! consults a [`RecoveryPolicy`] after each failed attempt and gives up to
+//! manual repair (`RMA`) after `max_attempts - 1` automated attempts, the
+//! paper's `N = 20` episode cap (§3.2).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::action::RepairAction;
+use crate::catalog::FaultCatalog;
+use crate::dist::Exponential;
+use crate::event::{LogEntry, LogEvent};
+use crate::fault::FaultId;
+use crate::log::RecoveryLog;
+use crate::machine::MachineId;
+use crate::policy::{PolicyContext, RecoveryPolicy};
+use crate::symptom::SymptomId;
+use crate::time::{SimDuration, SimTime};
+
+/// Knobs of the cluster simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of machines in the cluster.
+    pub machines: u32,
+    /// How long new faults keep arriving; processes opened before the
+    /// horizon run to completion.
+    pub horizon: SimDuration,
+    /// Mean fault inter-arrival time per healthy machine.
+    pub mean_fault_interarrival: SimDuration,
+    /// Episode cap: after `max_attempts - 1` automated attempts the
+    /// controller forces `RMA`. The paper uses 20.
+    pub max_attempts: usize,
+    /// Probability that a process is *noisy*: a second, independent fault
+    /// overlaps it, mixing two symptom sets (the paper's ≈3.33% of
+    /// processes that its noise filter removes).
+    pub noise_prob: f64,
+    /// Probability that a failed attempt re-emits the primary symptom
+    /// while the controller observes (Table 1 shows such repeats).
+    pub re_emit_prob: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            machines: 100,
+            horizon: SimDuration::from_days(60),
+            mean_fault_interarrival: SimDuration::from_days(5),
+            max_attempts: 20,
+            noise_prob: 0.033,
+            re_emit_prob: 0.6,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no machines, the horizon is zero, the attempt
+    /// cap is below 2 (one automated attempt plus the RMA fallback), or a
+    /// probability is outside `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(self.machines > 0, "cluster needs at least one machine");
+        assert!(self.horizon > SimDuration::ZERO, "horizon must be positive");
+        assert!(
+            self.mean_fault_interarrival > SimDuration::ZERO,
+            "inter-arrival mean must be positive"
+        );
+        assert!(
+            self.max_attempts >= 2,
+            "need room for at least one attempt plus RMA"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.noise_prob),
+            "noise_prob out of [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.re_emit_prob),
+            "re_emit_prob out of [0, 1]"
+        );
+    }
+}
+
+/// Ground truth for one generated recovery process, keyed by
+/// `(machine, process start time)` so it can be joined back to the
+/// processes returned by [`RecoveryLog::split_processes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcessTruth {
+    /// The fault class that opened the process.
+    pub fault: FaultId,
+    /// The overlapping second fault, for noisy processes.
+    pub overlay: Option<FaultId>,
+}
+
+/// Ground-truth side channel of a simulation run. The learning pipeline
+/// never reads this; tests and experiment sanity checks do.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroundTruth {
+    by_process: HashMap<(MachineId, SimTime), ProcessTruth>,
+}
+
+impl GroundTruth {
+    /// Looks up the truth for the process that started on `machine` at
+    /// `start`.
+    pub fn lookup(&self, machine: MachineId, start: SimTime) -> Option<ProcessTruth> {
+        self.by_process.get(&(machine, start)).copied()
+    }
+
+    /// Number of recorded processes.
+    pub fn len(&self) -> usize {
+        self.by_process.len()
+    }
+
+    /// Whether no processes were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.by_process.is_empty()
+    }
+
+    fn record(&mut self, machine: MachineId, start: SimTime, truth: ProcessTruth) {
+        self.by_process.insert((machine, start), truth);
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// A new fault strikes a healthy machine.
+    FaultArrives(FaultId),
+    /// A scheduled symptom emission for process `epoch`.
+    EmitSymptom { symptom: SymptomId, epoch: u64 },
+    /// A repair attempt finishes for process `epoch`.
+    ActionCompletes { cured: bool, epoch: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    time: SimTime,
+    seq: u64,
+    machine: MachineId,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-machine recovery bookkeeping while a process is open.
+#[derive(Debug)]
+struct OpenProcess {
+    epoch: u64,
+    fault: FaultId,
+    overlay: Option<FaultId>,
+    observed: Vec<SymptomId>,
+    tried: Vec<RepairAction>,
+}
+
+/// The discrete-event cluster simulator.
+///
+/// Drive it with [`ClusterSim::run`], which consumes the simulator and
+/// returns the generated log plus ground truth.
+///
+/// ```
+/// use recovery_simlog::{CatalogConfig, ClusterConfig, ClusterSim, UserDefinedPolicy};
+///
+/// let catalog = CatalogConfig::default().with_fault_types(5).generate(3);
+/// let config = ClusterConfig { machines: 10, ..ClusterConfig::default() };
+/// let sim = ClusterSim::new(&catalog, UserDefinedPolicy::default(), config, 42);
+/// let (mut log, truth) = sim.run();
+/// let processes = log.split_processes();
+/// assert_eq!(processes.len(), truth.len());
+/// ```
+#[derive(Debug)]
+pub struct ClusterSim<'a, P> {
+    catalog: &'a FaultCatalog,
+    policy: P,
+    config: ClusterConfig,
+    rng: StdRng,
+}
+
+impl<'a, P: RecoveryPolicy> ClusterSim<'a, P> {
+    /// Creates a simulator over `catalog`, controlled by `policy`, seeded
+    /// deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`ClusterConfig::validate`]).
+    pub fn new(catalog: &'a FaultCatalog, policy: P, config: ClusterConfig, seed: u64) -> Self {
+        config.validate();
+        ClusterSim {
+            catalog,
+            policy,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Runs the simulation to completion and returns the log and ground
+    /// truth. New faults stop arriving at the horizon; processes already
+    /// open run until they succeed, so the log contains only complete
+    /// processes (plus any symptom noise).
+    pub fn run(mut self) -> (RecoveryLog, GroundTruth) {
+        let mut log = RecoveryLog::with_symptoms(self.catalog.symptoms().clone());
+        let mut truth = GroundTruth::default();
+        let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        let mut open: HashMap<MachineId, OpenProcess> = HashMap::new();
+        let mut seq = 0u64;
+        let mut epoch = 0u64;
+
+        let interarrival =
+            Exponential::from_mean(self.config.mean_fault_interarrival.as_secs_f64());
+
+        let mut push = |queue: &mut BinaryHeap<Reverse<Event>>,
+                        seq: &mut u64,
+                        time: SimTime,
+                        machine: MachineId,
+                        kind: EventKind| {
+            *seq += 1;
+            queue.push(Reverse(Event {
+                time,
+                seq: *seq,
+                machine,
+                kind,
+            }));
+        };
+
+        // Seed each machine's first fault arrival.
+        for m in 0..self.config.machines {
+            let machine = MachineId::new(m);
+            let dt = SimDuration::from_secs(interarrival.sample(&mut self.rng) as u64);
+            if dt <= self.config.horizon {
+                let fault = self.catalog.sample_fault(&mut self.rng).id();
+                push(
+                    &mut queue,
+                    &mut seq,
+                    SimTime::EPOCH + dt,
+                    machine,
+                    EventKind::FaultArrives(fault),
+                );
+            }
+        }
+
+        while let Some(Reverse(event)) = queue.pop() {
+            match event.kind {
+                EventKind::FaultArrives(fault_id) => {
+                    debug_assert!(
+                        !open.contains_key(&event.machine),
+                        "arrival while recovering"
+                    );
+                    epoch += 1;
+                    let fault = self.catalog.fault(fault_id).expect("sampled from catalog");
+                    let mut process = OpenProcess {
+                        epoch,
+                        fault: fault_id,
+                        overlay: None,
+                        observed: vec![fault.primary_symptom()],
+                        tried: Vec::new(),
+                    };
+                    log.push(LogEntry {
+                        time: event.time,
+                        machine: event.machine,
+                        event: LogEvent::Symptom(fault.primary_symptom()),
+                    });
+                    // Secondary symptoms of the primary fault.
+                    self.schedule_secondaries(
+                        &mut queue,
+                        &mut seq,
+                        event.machine,
+                        event.time,
+                        fault_id,
+                        epoch,
+                        &mut push,
+                    );
+                    // Noise: an overlapping second fault mixes in its symptoms.
+                    if self.rng.gen_bool(self.config.noise_prob) {
+                        let overlay = self.catalog.sample_fault(&mut self.rng).id();
+                        if overlay != fault_id {
+                            process.overlay = Some(overlay);
+                            let of = self.catalog.fault(overlay).expect("in catalog");
+                            let delay = SimDuration::from_secs(self.rng.gen_range(30..600));
+                            push(
+                                &mut queue,
+                                &mut seq,
+                                event.time + delay,
+                                event.machine,
+                                EventKind::EmitSymptom {
+                                    symptom: of.primary_symptom(),
+                                    epoch,
+                                },
+                            );
+                            self.schedule_secondaries(
+                                &mut queue,
+                                &mut seq,
+                                event.machine,
+                                event.time + delay,
+                                overlay,
+                                epoch,
+                                &mut push,
+                            );
+                        }
+                    }
+                    truth.record(
+                        event.machine,
+                        event.time,
+                        ProcessTruth {
+                            fault: fault_id,
+                            overlay: process.overlay,
+                        },
+                    );
+                    // Controller engages after the detection delay.
+                    let engage = event.time
+                        + SimDuration::from_secs(
+                            Exponential::from_mean(fault.mean_detection_delay_secs())
+                                .sample(&mut self.rng)
+                                .max(1.0) as u64,
+                        );
+                    open.insert(event.machine, process);
+                    let (action_time, cured, _action) = self.start_attempt(
+                        &mut log,
+                        &mut queue,
+                        &mut seq,
+                        event.machine,
+                        engage,
+                        &mut open,
+                        &mut push,
+                    );
+                    let _ = (action_time, cured);
+                }
+                EventKind::EmitSymptom {
+                    symptom,
+                    epoch: ev_epoch,
+                } => {
+                    if let Some(p) = open.get_mut(&event.machine) {
+                        if p.epoch == ev_epoch {
+                            if !p.observed.contains(&symptom) {
+                                p.observed.push(symptom);
+                            }
+                            log.push(LogEntry {
+                                time: event.time,
+                                machine: event.machine,
+                                event: LogEvent::Symptom(symptom),
+                            });
+                        }
+                    }
+                }
+                EventKind::ActionCompletes {
+                    cured,
+                    epoch: ev_epoch,
+                } => {
+                    let is_current = open
+                        .get(&event.machine)
+                        .map(|p| p.epoch == ev_epoch)
+                        .unwrap_or(false);
+                    if !is_current {
+                        continue;
+                    }
+                    if cured {
+                        open.remove(&event.machine);
+                        log.push(LogEntry {
+                            time: event.time,
+                            machine: event.machine,
+                            event: LogEvent::Success,
+                        });
+                        // Schedule the next fault if within the horizon.
+                        let dt = SimDuration::from_secs(
+                            interarrival.sample(&mut self.rng).max(1.0) as u64,
+                        );
+                        let next = event.time + dt;
+                        if next.duration_since(SimTime::EPOCH) <= self.config.horizon {
+                            let fault = self.catalog.sample_fault(&mut self.rng).id();
+                            push(
+                                &mut queue,
+                                &mut seq,
+                                next,
+                                event.machine,
+                                EventKind::FaultArrives(fault),
+                            );
+                        }
+                    } else {
+                        self.start_attempt(
+                            &mut log,
+                            &mut queue,
+                            &mut seq,
+                            event.machine,
+                            event.time,
+                            &mut open,
+                            &mut push,
+                        );
+                    }
+                }
+            }
+        }
+        (log, truth)
+    }
+
+    /// Chooses the next action via the policy (or the forced RMA at the
+    /// attempt cap), logs it, samples its outcome and duration, and
+    /// schedules its completion. Returns `(start, cured, action)`.
+    #[allow(clippy::too_many_arguments)]
+    fn start_attempt(
+        &mut self,
+        log: &mut RecoveryLog,
+        queue: &mut BinaryHeap<Reverse<Event>>,
+        seq: &mut u64,
+        machine: MachineId,
+        now: SimTime,
+        open: &mut HashMap<MachineId, OpenProcess>,
+        push: &mut impl FnMut(&mut BinaryHeap<Reverse<Event>>, &mut u64, SimTime, MachineId, EventKind),
+    ) -> (SimTime, bool, RepairAction) {
+        let p = open.get_mut(&machine).expect("attempt on open process");
+        let action = if p.tried.len() + 1 >= self.config.max_attempts {
+            // N-1 automated attempts failed: request manual repair.
+            RepairAction::Rma
+        } else {
+            self.policy.decide(&PolicyContext {
+                initial_symptom: p.observed[0],
+                observed_symptoms: &p.observed,
+                tried_actions: &p.tried,
+            })
+        };
+        p.tried.push(action);
+        log.push(LogEntry {
+            time: now,
+            machine,
+            event: LogEvent::Action(action),
+        });
+
+        let fault = self.catalog.fault(p.fault).expect("in catalog");
+        let mut cured = fault.attempt_cures(action, &mut self.rng);
+        // A noisy process needs the overlay fault cured too.
+        if let Some(overlay) = p.overlay {
+            let of = self.catalog.fault(overlay).expect("in catalog");
+            cured = cured && of.attempt_cures(action, &mut self.rng);
+        }
+        let duration = fault.timing(action).sample(cured, &mut self.rng);
+        // A failed attempt often re-emits the primary symptom mid-window.
+        if !cured && self.rng.gen_bool(self.config.re_emit_prob) {
+            let frac = self.rng.gen_range(0.2..0.8);
+            let at = now + SimDuration::from_secs((duration.as_secs_f64() * frac).max(1.0) as u64);
+            let symptom = fault.primary_symptom();
+            let epoch = p.epoch;
+            push(
+                queue,
+                seq,
+                at,
+                machine,
+                EventKind::EmitSymptom { symptom, epoch },
+            );
+        }
+        let epoch = p.epoch;
+        push(
+            queue,
+            seq,
+            now + duration,
+            machine,
+            EventKind::ActionCompletes { cured, epoch },
+        );
+        (now, cured, action)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn schedule_secondaries(
+        &mut self,
+        queue: &mut BinaryHeap<Reverse<Event>>,
+        seq: &mut u64,
+        machine: MachineId,
+        base: SimTime,
+        fault: FaultId,
+        epoch: u64,
+        push: &mut impl FnMut(&mut BinaryHeap<Reverse<Event>>, &mut u64, SimTime, MachineId, EventKind),
+    ) {
+        let spec = self.catalog.fault(fault).expect("in catalog");
+        let secondaries: Vec<_> = spec.secondary_symptoms().to_vec();
+        for s in secondaries {
+            if self.rng.gen_bool(s.probability) {
+                let delay = Exponential::from_mean(s.mean_delay_secs).sample(&mut self.rng);
+                let at = base + SimDuration::from_secs(delay.max(1.0) as u64);
+                push(
+                    queue,
+                    seq,
+                    at,
+                    machine,
+                    EventKind::EmitSymptom {
+                        symptom: s.symptom,
+                        epoch,
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogConfig;
+    use crate::policy::{FixedActionPolicy, UserDefinedPolicy};
+
+    fn small_catalog() -> FaultCatalog {
+        CatalogConfig::default().with_fault_types(10).generate(7)
+    }
+
+    fn small_config() -> ClusterConfig {
+        ClusterConfig {
+            machines: 20,
+            horizon: SimDuration::from_days(20),
+            mean_fault_interarrival: SimDuration::from_days(2),
+            ..ClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn run_produces_complete_processes() {
+        let catalog = small_catalog();
+        let sim = ClusterSim::new(&catalog, UserDefinedPolicy::default(), small_config(), 1);
+        let (mut log, truth) = sim.run();
+        let procs = log.split_processes();
+        assert!(!procs.is_empty(), "simulation produced no processes");
+        assert_eq!(procs.len(), truth.len(), "every process has ground truth");
+        for p in &procs {
+            assert!(truth.lookup(p.machine(), p.start()).is_some());
+            assert!(p.downtime() > SimDuration::ZERO);
+            assert!(!p.actions().is_empty(), "controller always acts");
+            assert!(p.actions().len() <= 20, "N = 20 cap respected");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let catalog = small_catalog();
+        let run = |seed| {
+            let sim = ClusterSim::new(&catalog, UserDefinedPolicy::default(), small_config(), seed);
+            let (mut log, _) = sim.run();
+            log.to_text()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn initial_symptom_matches_ground_truth_fault() {
+        let catalog = small_catalog();
+        let sim = ClusterSim::new(&catalog, UserDefinedPolicy::default(), small_config(), 2);
+        let (mut log, truth) = sim.run();
+        for p in log.split_processes() {
+            let t = truth.lookup(p.machine(), p.start()).unwrap();
+            let fault = catalog.fault(t.fault).unwrap();
+            assert_eq!(p.initial_symptom(), fault.primary_symptom());
+        }
+    }
+
+    #[test]
+    fn rma_only_policy_cures_in_one_attempt() {
+        let catalog = small_catalog();
+        let sim = ClusterSim::new(
+            &catalog,
+            FixedActionPolicy::new(RepairAction::Rma),
+            small_config(),
+            3,
+        );
+        let (mut log, _) = sim.run();
+        let procs = log.split_processes();
+        assert!(!procs.is_empty());
+        for p in &procs {
+            assert_eq!(p.actions().len(), 1, "RMA always cures");
+            assert_eq!(p.final_action(), Some(RepairAction::Rma));
+        }
+    }
+
+    #[test]
+    fn trynop_only_policy_hits_the_attempt_cap() {
+        // Build a catalog where TRYNOP never works, then insist on it:
+        // the N = 20 cap must force a final RMA on attempt 20.
+        let catalog = CatalogConfig::default()
+            .with_fault_types(3)
+            .with_deceptive_ranks(vec![0, 1, 2])
+            .generate(11);
+        let config = ClusterConfig {
+            machines: 5,
+            horizon: SimDuration::from_days(30),
+            mean_fault_interarrival: SimDuration::from_days(3),
+            noise_prob: 0.0,
+            ..ClusterConfig::default()
+        };
+        let sim = ClusterSim::new(
+            &catalog,
+            FixedActionPolicy::new(RepairAction::TryNop),
+            config,
+            4,
+        );
+        let (mut log, _) = sim.run();
+        let procs = log.split_processes();
+        assert!(!procs.is_empty());
+        let mut saw_cap = false;
+        for p in &procs {
+            let last = p.final_action().unwrap();
+            if p.actions().len() == 20 {
+                assert_eq!(last, RepairAction::Rma, "cap forces manual repair");
+                saw_cap = true;
+            }
+            assert!(p.actions().len() <= 20);
+        }
+        assert!(
+            saw_cap,
+            "deceptive faults should exhaust the TRYNOP-only policy"
+        );
+    }
+
+    #[test]
+    fn noise_processes_are_recorded_in_truth() {
+        let catalog = small_catalog();
+        let config = ClusterConfig {
+            noise_prob: 0.5,
+            ..small_config()
+        };
+        let sim = ClusterSim::new(&catalog, UserDefinedPolicy::default(), config, 9);
+        let (mut log, truth) = sim.run();
+        let procs = log.split_processes();
+        let noisy = procs
+            .iter()
+            .filter(|p| {
+                truth
+                    .lookup(p.machine(), p.start())
+                    .unwrap()
+                    .overlay
+                    .is_some()
+            })
+            .count();
+        assert!(
+            noisy > 0,
+            "with noise_prob = 0.5 some processes must be noisy"
+        );
+    }
+
+    #[test]
+    fn no_arrivals_beyond_horizon() {
+        let catalog = small_catalog();
+        let config = ClusterConfig {
+            horizon: SimDuration::from_days(10),
+            ..small_config()
+        };
+        let horizon = config.horizon;
+        let sim = ClusterSim::new(&catalog, UserDefinedPolicy::default(), config, 12);
+        let (mut log, _) = sim.run();
+        for p in log.split_processes() {
+            assert!(
+                p.start().duration_since(SimTime::EPOCH) <= horizon,
+                "process started after the horizon"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn rejects_empty_cluster() {
+        let catalog = small_catalog();
+        let config = ClusterConfig {
+            machines: 0,
+            ..ClusterConfig::default()
+        };
+        let _ = ClusterSim::new(&catalog, UserDefinedPolicy::default(), config, 0);
+    }
+}

@@ -1,0 +1,399 @@
+//! Seeded random distributions used by the simulator.
+//!
+//! Implemented in-crate (exponential, log-normal, Zipf) so the workspace
+//! only depends on `rand` itself. All samplers are plain structs with a
+//! `sample(&mut impl Rng)` method; they are cheap to copy and deterministic
+//! for a seeded generator.
+
+use rand::Rng;
+
+/// Exponential distribution with rate `lambda` (mean `1 / lambda`).
+///
+/// Used for fault inter-arrival times (a Poisson arrival process per
+/// machine).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not strictly positive and finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "exponential rate must be positive and finite, got {lambda}"
+        );
+        Exponential { lambda }
+    }
+
+    /// Creates the distribution from its mean (`1 / lambda`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn from_mean(mean: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive and finite, got {mean}"
+        );
+        Exponential { lambda: 1.0 / mean }
+    }
+
+    /// The mean of the distribution.
+    pub fn mean(self) -> f64 {
+        1.0 / self.lambda
+    }
+
+    /// Draws one sample by inversion.
+    pub fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        // gen::<f64>() is in [0, 1); flip to (0, 1] so ln() is finite.
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -u.ln() / self.lambda
+    }
+}
+
+/// Log-normal distribution parameterized by the mean and coefficient of
+/// variation of the *resulting* (not underlying normal) distribution.
+///
+/// Used for repair-action durations, which are heavy tailed in production
+/// logs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal whose samples have expected value `mean` and
+    /// standard deviation `cv * mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive or `cv` is negative.
+    pub fn from_mean_cv(mean: f64, cv: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "log-normal mean must be positive and finite, got {mean}"
+        );
+        assert!(
+            cv.is_finite() && cv >= 0.0,
+            "log-normal cv must be non-negative, got {cv}"
+        );
+        let sigma2 = (1.0 + cv * cv).ln();
+        LogNormal {
+            mu: mean.ln() - sigma2 / 2.0,
+            sigma: sigma2.sqrt(),
+        }
+    }
+
+    /// The expected value of samples.
+    pub fn mean(self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// Draws one sample via Box–Muller.
+    pub fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        let z = standard_normal(rng);
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+/// One standard-normal variate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Zipf distribution over ranks `0..n` with exponent `s`:
+/// `P(rank = k) ∝ 1 / (k + 1)^s`.
+///
+/// Used for fault-type frequencies; the paper's Figure 5 shows a
+/// heavy-tailed frequency ranking where 40 of 97 types cover 98.68% of
+/// processes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not finite and non-negative.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "zipf exponent must be non-negative, got {s}"
+        );
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        // Guard against floating-point round-off at the top end.
+        *cumulative.last_mut().expect("n > 0") = 1.0;
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution is degenerate (it never is; `new` demands
+    /// `n > 0`). Provided for API symmetry with collections.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Probability mass of `rank`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank >= self.cumulative.len() {
+            return 0.0;
+        }
+        let lo = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank - 1]
+        };
+        self.cumulative[rank] - lo
+    }
+
+    /// Draws one rank by inverse-CDF lookup (binary search).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i,
+        }
+    }
+}
+
+/// A discrete distribution over ranks `0..n` with arbitrary non-negative
+/// weights, sampled by inverse-CDF lookup.
+///
+/// Used for fault-type frequencies: production error-type frequencies are
+/// Zipf-*like* in the head but fall off faster in the tail (the paper's 40
+/// most frequent of 97 types cover 98.68% of processes), which a pure
+/// Zipf law cannot match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discrete {
+    cumulative: Vec<f64>,
+}
+
+impl Discrete {
+    /// Builds the distribution from weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// weight, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "need at least one weight");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative: {weights:?}"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in weights {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+        *cumulative.last_mut().expect("non-empty") = 1.0;
+        Discrete { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution has no ranks (never; `new` demands one).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Probability mass of `rank`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank >= self.cumulative.len() {
+            return 0.0;
+        }
+        let lo = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank - 1]
+        };
+        self.cumulative[rank] - lo
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xD150_17E5)
+    }
+
+    #[test]
+    fn exponential_sample_mean_is_close() {
+        let mut r = rng();
+        let d = Exponential::from_mean(120.0);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 120.0).abs() < 4.0, "sample mean {mean}");
+        assert!((d.mean() - 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_samples_are_positive() {
+        let mut r = rng();
+        let d = Exponential::new(5.0);
+        assert!((0..1000).all(|_| d.sample(&mut r) > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_zero_rate() {
+        let _ = Exponential::new(0.0);
+    }
+
+    #[test]
+    fn lognormal_matches_requested_mean() {
+        let mut r = rng();
+        let d = LogNormal::from_mean_cv(1800.0, 0.5);
+        assert!(
+            (d.mean() - 1800.0).abs() < 1e-9,
+            "analytic mean {}",
+            d.mean()
+        );
+        let n = 40_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 1800.0).abs() / 1800.0 < 0.03, "sample mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_zero_cv_is_degenerate() {
+        let mut r = rng();
+        let d = LogNormal::from_mean_cv(60.0, 0.0);
+        for _ in 0..100 {
+            assert!((d.sample(&mut r) - 60.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cv")]
+    fn lognormal_rejects_negative_cv() {
+        let _ = LogNormal::from_mean_cv(1.0, -0.1);
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one_and_decreases() {
+        let z = Zipf::new(97, 1.1);
+        let total: f64 = (0..97).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "pmf total {total}");
+        for k in 1..97 {
+            assert!(z.pmf(k) <= z.pmf(k - 1), "pmf not monotone at {k}");
+        }
+        assert_eq!(z.pmf(97), 0.0);
+    }
+
+    #[test]
+    fn zipf_sampling_respects_ranking() {
+        let mut r = rng();
+        let z = Zipf::new(10, 1.2);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[5], "{counts:?}");
+        assert!(counts[1] > counts[9], "{counts:?}");
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    #[test]
+    fn zipf_single_rank_always_zero() {
+        let mut r = rng();
+        let z = Zipf::new(1, 2.0);
+        assert_eq!(z.len(), 1);
+        for _ in 0..50 {
+            assert_eq!(z.sample(&mut r), 0);
+        }
+    }
+
+    #[test]
+    fn zipf_uniform_when_exponent_zero() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn discrete_pmf_matches_weights() {
+        let d = Discrete::new(&[1.0, 3.0, 0.0, 4.0]);
+        assert!((d.pmf(0) - 0.125).abs() < 1e-12);
+        assert!((d.pmf(1) - 0.375).abs() < 1e-12);
+        assert_eq!(d.pmf(2), 0.0);
+        assert!((d.pmf(3) - 0.5).abs() < 1e-12);
+        assert_eq!(d.pmf(4), 0.0);
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn discrete_sampling_skips_zero_weights() {
+        let mut r = rng();
+        let d = Discrete::new(&[1.0, 0.0, 1.0]);
+        for _ in 0..1000 {
+            assert_ne!(d.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn discrete_rejects_zero_total() {
+        let _ = Discrete::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn standard_normal_has_zero_mean_unit_variance() {
+        let mut r = rng();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

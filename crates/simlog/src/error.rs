@@ -1,0 +1,111 @@
+//! Error types for the log data model.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while parsing the textual recovery-log format.
+///
+/// Carries the offending fragment and, where known, the line number of the
+/// entry being parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLogError {
+    kind: ParseLogErrorKind,
+    fragment: String,
+    line: Option<usize>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ParseLogErrorKind {
+    Timestamp,
+    Machine,
+    Action,
+    Entry,
+    Symptom,
+}
+
+impl ParseLogError {
+    pub(crate) fn timestamp(fragment: &str) -> Self {
+        Self::new(ParseLogErrorKind::Timestamp, fragment)
+    }
+
+    pub(crate) fn machine(fragment: &str) -> Self {
+        Self::new(ParseLogErrorKind::Machine, fragment)
+    }
+
+    pub(crate) fn action(fragment: &str) -> Self {
+        Self::new(ParseLogErrorKind::Action, fragment)
+    }
+
+    pub(crate) fn entry(fragment: &str) -> Self {
+        Self::new(ParseLogErrorKind::Entry, fragment)
+    }
+
+    pub(crate) fn symptom(fragment: &str) -> Self {
+        Self::new(ParseLogErrorKind::Symptom, fragment)
+    }
+
+    fn new(kind: ParseLogErrorKind, fragment: &str) -> Self {
+        ParseLogError {
+            kind,
+            fragment: fragment.to_owned(),
+            line: None,
+        }
+    }
+
+    /// Attaches a 1-based line number to the error.
+    pub fn at_line(mut self, line: usize) -> Self {
+        self.line = Some(line);
+        self
+    }
+
+    /// The 1-based line number of the failing entry, if known.
+    pub fn line(&self) -> Option<usize> {
+        self.line
+    }
+
+    /// The text fragment that failed to parse.
+    pub fn fragment(&self) -> &str {
+        &self.fragment
+    }
+}
+
+impl fmt::Display for ParseLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.kind {
+            ParseLogErrorKind::Timestamp => "invalid timestamp",
+            ParseLogErrorKind::Machine => "invalid machine id",
+            ParseLogErrorKind::Action => "unknown repair action",
+            ParseLogErrorKind::Entry => "malformed log entry",
+            ParseLogErrorKind::Symptom => "invalid symptom description",
+        };
+        write!(f, "{what}: {:?}", self.fragment)?;
+        if let Some(line) = self.line {
+            write!(f, " (line {line})")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for ParseLogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_fragment_and_line() {
+        let err = ParseLogError::timestamp("yesterday").at_line(7);
+        let msg = err.to_string();
+        assert!(msg.contains("invalid timestamp"), "{msg}");
+        assert!(msg.contains("yesterday"), "{msg}");
+        assert!(msg.contains("line 7"), "{msg}");
+        assert_eq!(err.line(), Some(7));
+        assert_eq!(err.fragment(), "yesterday");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParseLogError>();
+    }
+}

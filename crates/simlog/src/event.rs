@@ -1,0 +1,205 @@
+//! Log entries: the `<time, machine, description>` triples of the paper.
+
+use std::fmt;
+
+use crate::action::RepairAction;
+use crate::error::ParseLogError;
+use crate::machine::MachineId;
+use crate::symptom::{SymptomCatalog, SymptomId};
+use crate::time::SimTime;
+
+/// The description field of a log entry (paper §4.1): an error symptom, a
+/// repair action, or a report of successful recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogEvent {
+    /// An error symptom was observed on the machine.
+    Symptom(SymptomId),
+    /// The recovery controller applied a repair action.
+    Action(RepairAction),
+    /// The machine was observed healthy again: the recovery process ends.
+    Success,
+}
+
+impl LogEvent {
+    /// Whether this event is an error symptom.
+    pub fn is_symptom(&self) -> bool {
+        matches!(self, LogEvent::Symptom(_))
+    }
+
+    /// Whether this event is a repair action.
+    pub fn is_action(&self) -> bool {
+        matches!(self, LogEvent::Action(_))
+    }
+
+    /// Whether this event ends a recovery process.
+    pub fn is_success(&self) -> bool {
+        matches!(self, LogEvent::Success)
+    }
+}
+
+/// One `<time, machine, description>` entry of the recovery log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LogEntry {
+    /// When the event was recorded.
+    pub time: SimTime,
+    /// The monitored machine the event concerns.
+    pub machine: MachineId,
+    /// What happened.
+    pub event: LogEvent,
+}
+
+impl LogEntry {
+    /// Renders the entry as one tab-separated log line, resolving symptom
+    /// ids through `symptoms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry references a symptom id that is not interned in
+    /// `symptoms`; entries and catalog always travel together in this
+    /// crate, so a miss indicates a programming error.
+    pub fn format_line(&self, symptoms: &SymptomCatalog) -> String {
+        let description = match self.event {
+            LogEvent::Symptom(id) => symptoms
+                .name(id)
+                .unwrap_or_else(|| panic!("symptom {id} missing from catalog"))
+                .to_owned(),
+            LogEvent::Action(a) => a.to_string(),
+            LogEvent::Success => "Success".to_owned(),
+        };
+        format!("{}\t{}\t{}", self.time, self.machine, description)
+    }
+
+    /// Parses one tab-separated log line, interning any new symptom
+    /// description into `symptoms`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseLogError`] when the line does not have three
+    /// tab-separated fields or a field fails to parse. A description is
+    /// interpreted as an action if it matches an action token, as `Success`
+    /// if it is the literal `Success`, and as a symptom otherwise —
+    /// symptoms must contain a `:` (category:component) to be accepted.
+    pub fn parse_line(line: &str, symptoms: &mut SymptomCatalog) -> Result<Self, ParseLogError> {
+        let mut fields = line.splitn(3, '\t');
+        let time = fields
+            .next()
+            .ok_or_else(|| ParseLogError::entry(line))?
+            .parse::<SimTime>()?;
+        let machine = fields
+            .next()
+            .ok_or_else(|| ParseLogError::entry(line))?
+            .parse::<MachineId>()?;
+        let description = fields.next().ok_or_else(|| ParseLogError::entry(line))?;
+        let event = if description == "Success" {
+            LogEvent::Success
+        } else if let Ok(action) = description.parse::<RepairAction>() {
+            LogEvent::Action(action)
+        } else if description.contains(':') {
+            LogEvent::Symptom(symptoms.intern(description))
+        } else {
+            return Err(ParseLogError::symptom(description));
+        };
+        Ok(LogEntry {
+            time,
+            machine,
+            event,
+        })
+    }
+}
+
+impl fmt::Display for LogEvent {
+    /// Formats without symptom names (ids only); use
+    /// [`LogEntry::format_line`] for the full textual log format.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogEvent::Symptom(id) => write!(f, "symptom {id}"),
+            LogEvent::Action(a) => write!(f, "action {a}"),
+            LogEvent::Success => f.write_str("Success"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(event: LogEvent) -> LogEntry {
+        LogEntry {
+            time: SimTime::from_secs(3 * 3600 + 7 * 60 + 12),
+            machine: MachineId::new(423),
+            event,
+        }
+    }
+
+    #[test]
+    fn formats_like_paper_table1() {
+        let mut symptoms = SymptomCatalog::new();
+        let id = symptoms.intern("error:IFM-ISNWatchdog");
+        let line = entry(LogEvent::Symptom(id)).format_line(&symptoms);
+        assert_eq!(line, "2006-01-01 03:07:12\tM0423\terror:IFM-ISNWatchdog");
+    }
+
+    #[test]
+    fn action_and_success_round_trip() {
+        let mut symptoms = SymptomCatalog::new();
+        for event in [
+            LogEvent::Action(RepairAction::Reboot),
+            LogEvent::Action(RepairAction::Rma),
+            LogEvent::Success,
+        ] {
+            let e = entry(event);
+            let line = e.format_line(&symptoms);
+            let parsed = LogEntry::parse_line(&line, &mut symptoms).unwrap();
+            assert_eq!(parsed, e);
+        }
+    }
+
+    #[test]
+    fn symptom_round_trip_interns_consistently() {
+        let mut write_catalog = SymptomCatalog::new();
+        let id = write_catalog.intern("errorHardware:EventLog");
+        let line = entry(LogEvent::Symptom(id)).format_line(&write_catalog);
+
+        let mut read_catalog = SymptomCatalog::new();
+        let parsed = LogEntry::parse_line(&line, &mut read_catalog).unwrap();
+        match parsed.event {
+            LogEvent::Symptom(sid) => {
+                assert_eq!(read_catalog.name(sid), Some("errorHardware:EventLog"));
+            }
+            other => panic!("expected symptom, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let mut symptoms = SymptomCatalog::new();
+        for line in [
+            "",
+            "2006-01-01 03:07:12",
+            "2006-01-01 03:07:12\tM0423",
+            "not a time\tM0423\tSuccess",
+            "2006-01-01 03:07:12\tbadmachine\tSuccess",
+            "2006-01-01 03:07:12\tM0423\tnocolon",
+        ] {
+            assert!(
+                LogEntry::parse_line(line, &mut symptoms).is_err(),
+                "{line:?} should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn event_predicates() {
+        assert!(LogEvent::Symptom(SymptomId::new(0)).is_symptom());
+        assert!(LogEvent::Action(RepairAction::TryNop).is_action());
+        assert!(LogEvent::Success.is_success());
+        assert!(!LogEvent::Success.is_symptom());
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from catalog")]
+    fn format_panics_on_foreign_symptom() {
+        let symptoms = SymptomCatalog::new();
+        let _ = entry(LogEvent::Symptom(SymptomId::new(5))).format_line(&symptoms);
+    }
+}

@@ -1,0 +1,285 @@
+//! Ground-truth fault model.
+//!
+//! Each [`FaultSpec`] describes one latent fault class in the simulated
+//! cluster: which symptoms it emits, how likely each repair action is to
+//! cure it, and how long attempts take. Faults are the *ground truth* that
+//! the learning pipeline never sees directly — it only observes the
+//! symptoms and outcomes that faults produce in the log, exactly as the
+//! paper's method only observes a production log.
+
+use std::fmt;
+
+use rand::Rng;
+
+use crate::action::RepairAction;
+use crate::dist::LogNormal;
+use crate::time::SimDuration;
+
+/// Identifies one ground-truth fault class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FaultId(u32);
+
+impl FaultId {
+    /// Creates a fault id from its catalog index.
+    pub const fn new(index: u32) -> Self {
+        FaultId(index)
+    }
+
+    /// The catalog index of this fault.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for FaultId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+/// A secondary symptom emitted by a fault with some probability, after a
+/// delay from the start of the recovery process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecondarySymptom {
+    /// The symptom emitted.
+    pub symptom: crate::symptom::SymptomId,
+    /// Probability that this symptom appears in a given process.
+    pub probability: f64,
+    /// Mean delay after the primary symptom, seconds.
+    pub mean_delay_secs: f64,
+}
+
+/// Per-action timing model: how long an attempt takes when it cures the
+/// fault vs. when it fails (failure includes the full observation window the
+/// controller waits before concluding the action did not work).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActionTiming {
+    /// Duration distribution when the action succeeds.
+    pub success: LogNormal,
+    /// Duration distribution when the action fails.
+    pub failure: LogNormal,
+}
+
+impl ActionTiming {
+    /// A timing model centered on `action`'s baseline duration, with
+    /// failures taking `failure_factor` times longer on average (waiting
+    /// out the observation window).
+    pub fn baseline(action: RepairAction, cv: f64, failure_factor: f64) -> Self {
+        let base = action.baseline_duration().as_secs_f64();
+        ActionTiming {
+            success: LogNormal::from_mean_cv(base, cv),
+            failure: LogNormal::from_mean_cv(base * failure_factor, cv),
+        }
+    }
+
+    /// Samples an attempt duration for the given outcome; never shorter
+    /// than one second so log timestamps stay strictly ordered.
+    pub fn sample<R: Rng + ?Sized>(&self, cured: bool, rng: &mut R) -> SimDuration {
+        let d = if cured {
+            self.success.sample(rng)
+        } else {
+            self.failure.sample(rng)
+        };
+        SimDuration::from_secs(d.max(1.0) as u64)
+    }
+}
+
+/// Ground truth for one fault class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    id: FaultId,
+    primary_symptom: crate::symptom::SymptomId,
+    secondary_symptoms: Vec<SecondarySymptom>,
+    cure_probs: [f64; RepairAction::COUNT],
+    timings: [ActionTiming; RepairAction::COUNT],
+    mean_detection_delay_secs: f64,
+}
+
+impl FaultSpec {
+    /// Creates a fault spec after validating its probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cure probability is outside `[0, 1]`, if the
+    /// probabilities are not monotone non-decreasing in action strength
+    /// (a stronger action must cure at least as reliably — hypothesis H2
+    /// of the paper), or if `RMA` does not cure with probability 1.
+    pub fn new(
+        id: FaultId,
+        primary_symptom: crate::symptom::SymptomId,
+        secondary_symptoms: Vec<SecondarySymptom>,
+        cure_probs: [f64; RepairAction::COUNT],
+        timings: [ActionTiming; RepairAction::COUNT],
+        mean_detection_delay_secs: f64,
+    ) -> Self {
+        for (i, &p) in cure_probs.iter().enumerate() {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "cure probability {p} for action index {i} out of [0, 1]"
+            );
+        }
+        assert!(
+            cure_probs.windows(2).all(|w| w[0] <= w[1]),
+            "cure probabilities must be monotone in action strength: {cure_probs:?}"
+        );
+        assert!(
+            cure_probs[RepairAction::Rma.index()] == 1.0,
+            "RMA (manual repair) must always cure"
+        );
+        for s in &secondary_symptoms {
+            assert!(
+                (0.0..=1.0).contains(&s.probability),
+                "secondary symptom probability out of range: {}",
+                s.probability
+            );
+        }
+        FaultSpec {
+            id,
+            primary_symptom,
+            secondary_symptoms,
+            cure_probs,
+            timings,
+            mean_detection_delay_secs,
+        }
+    }
+
+    /// The fault's identifier.
+    pub fn id(&self) -> FaultId {
+        self.id
+    }
+
+    /// The symptom that always opens a recovery process for this fault.
+    pub fn primary_symptom(&self) -> crate::symptom::SymptomId {
+        self.primary_symptom
+    }
+
+    /// Secondary symptoms that may co-occur during the process.
+    pub fn secondary_symptoms(&self) -> &[SecondarySymptom] {
+        &self.secondary_symptoms
+    }
+
+    /// Probability that `action` cures this fault.
+    pub fn cure_prob(&self, action: RepairAction) -> f64 {
+        self.cure_probs[action.index()]
+    }
+
+    /// The timing model for `action`.
+    pub fn timing(&self, action: RepairAction) -> &ActionTiming {
+        &self.timings[action.index()]
+    }
+
+    /// Mean delay between the primary symptom and the controller engaging.
+    pub fn mean_detection_delay_secs(&self) -> f64 {
+        self.mean_detection_delay_secs
+    }
+
+    /// The weakest action that cures this fault with probability at least
+    /// `threshold`. Always defined because `RMA` cures with probability 1.
+    pub fn weakest_reliable_action(&self, threshold: f64) -> RepairAction {
+        RepairAction::ALL
+            .into_iter()
+            .find(|a| self.cure_prob(*a) >= threshold)
+            .unwrap_or(RepairAction::Rma)
+    }
+
+    /// Samples whether `action` cures the fault on one attempt.
+    pub fn attempt_cures<R: Rng + ?Sized>(&self, action: RepairAction, rng: &mut R) -> bool {
+        rng.gen_bool(self.cure_prob(action))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symptom::SymptomId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn timings() -> [ActionTiming; 4] {
+        [
+            ActionTiming::baseline(RepairAction::TryNop, 0.3, 1.5),
+            ActionTiming::baseline(RepairAction::Reboot, 0.3, 1.5),
+            ActionTiming::baseline(RepairAction::Reimage, 0.3, 1.5),
+            ActionTiming::baseline(RepairAction::Rma, 0.3, 1.0),
+        ]
+    }
+
+    fn spec(cure: [f64; 4]) -> FaultSpec {
+        FaultSpec::new(
+            FaultId::new(0),
+            SymptomId::new(0),
+            vec![],
+            cure,
+            timings(),
+            300.0,
+        )
+    }
+
+    #[test]
+    fn accessors_expose_fields() {
+        let f = spec([0.1, 0.5, 0.9, 1.0]);
+        assert_eq!(f.id(), FaultId::new(0));
+        assert_eq!(f.primary_symptom(), SymptomId::new(0));
+        assert!(f.secondary_symptoms().is_empty());
+        assert!((f.cure_prob(RepairAction::Reboot) - 0.5).abs() < 1e-12);
+        assert!((f.mean_detection_delay_secs() - 300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn rejects_non_monotone_cure_probs() {
+        let _ = spec([0.9, 0.5, 0.9, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "RMA")]
+    fn rejects_fallible_rma() {
+        let _ = spec([0.1, 0.2, 0.3, 0.99]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1]")]
+    fn rejects_out_of_range_probability() {
+        let _ = spec([-0.1, 0.5, 0.9, 1.0]);
+    }
+
+    #[test]
+    fn weakest_reliable_action_walks_ladder() {
+        let f = spec([0.05, 0.2, 0.95, 1.0]);
+        assert_eq!(f.weakest_reliable_action(0.9), RepairAction::Reimage);
+        assert_eq!(f.weakest_reliable_action(0.01), RepairAction::TryNop);
+        assert_eq!(f.weakest_reliable_action(0.99), RepairAction::Rma);
+    }
+
+    #[test]
+    fn attempt_cures_respects_probability() {
+        let f = spec([0.0, 0.0, 1.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert!(!f.attempt_cures(RepairAction::TryNop, &mut rng));
+            assert!(f.attempt_cures(RepairAction::Reimage, &mut rng));
+        }
+    }
+
+    #[test]
+    fn timing_sample_is_at_least_one_second() {
+        let t = ActionTiming {
+            success: LogNormal::from_mean_cv(0.001, 0.0),
+            failure: LogNormal::from_mean_cv(0.001, 0.0),
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(t.sample(true, &mut rng), SimDuration::from_secs(1));
+        assert_eq!(t.sample(false, &mut rng), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn baseline_failure_takes_longer_on_average() {
+        let t = ActionTiming::baseline(RepairAction::Reboot, 0.2, 2.0);
+        assert!(t.failure.mean() > t.success.mean());
+    }
+
+    #[test]
+    fn fault_id_displays_with_prefix() {
+        assert_eq!(FaultId::new(12).to_string(), "F12");
+    }
+}

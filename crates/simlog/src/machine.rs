@@ -1,0 +1,90 @@
+//! Machine identity.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ParseLogError;
+
+/// Identifies one machine in the monitored cluster.
+///
+/// Rendered as `M` followed by a zero-padded index (e.g. `M0423`), the form
+/// used in the textual recovery log.
+///
+/// ```
+/// use recovery_simlog::MachineId;
+///
+/// let m = MachineId::new(423);
+/// assert_eq!(m.to_string(), "M0423");
+/// assert_eq!("M0423".parse::<MachineId>().unwrap(), m);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MachineId(u32);
+
+impl MachineId {
+    /// Creates a machine id from its cluster index.
+    pub const fn new(index: u32) -> Self {
+        MachineId(index)
+    }
+
+    /// The cluster index of this machine.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{:04}", self.0)
+    }
+}
+
+impl FromStr for MachineId {
+    type Err = ParseLogError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s
+            .strip_prefix('M')
+            .ok_or_else(|| ParseLogError::machine(s))?;
+        digits
+            .parse::<u32>()
+            .map(MachineId)
+            .map_err(|_| ParseLogError::machine(s))
+    }
+}
+
+impl From<u32> for MachineId {
+    fn from(index: u32) -> Self {
+        MachineId(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_zero_padded() {
+        assert_eq!(MachineId::new(7).to_string(), "M0007");
+        assert_eq!(MachineId::new(12345).to_string(), "M12345");
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for idx in [0u32, 1, 42, 9999, 123_456] {
+            let m = MachineId::new(idx);
+            assert_eq!(m.to_string().parse::<MachineId>().unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_ids() {
+        for s in ["", "M", "0423", "Mforty", "N0423", "M-1"] {
+            assert!(s.parse::<MachineId>().is_err(), "{s:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn orders_by_index() {
+        assert!(MachineId::new(1) < MachineId::new(2));
+    }
+}

@@ -1,0 +1,264 @@
+//! Recovery policies: deciding the next repair action.
+//!
+//! The production system behind the paper schedules repair actions with a
+//! user-defined policy that "mainly tries the cheapest action enabled by
+//! the state" (§4.1). [`UserDefinedPolicy`] reproduces that cheapest-first
+//! escalation ladder; the [`RecoveryPolicy`] trait lets the simulator, the
+//! evaluation platform, and the learned policies of `recovery-core` all
+//! plug into the same controller.
+
+use std::fmt;
+
+use crate::action::RepairAction;
+use crate::symptom::SymptomId;
+
+/// Everything a policy may inspect when choosing the next action for one
+/// sick machine.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyContext<'a> {
+    /// The initial symptom of the ongoing recovery process (the paper's
+    /// error-type proxy).
+    pub initial_symptom: SymptomId,
+    /// Every distinct symptom observed so far, in first-occurrence order.
+    pub observed_symptoms: &'a [SymptomId],
+    /// Every repair action already tried in this process, in order.
+    pub tried_actions: &'a [RepairAction],
+}
+
+impl<'a> PolicyContext<'a> {
+    /// How many times `action` has been tried in this process.
+    pub fn tried_count(&self, action: RepairAction) -> usize {
+        self.tried_actions.iter().filter(|&&a| a == action).count()
+    }
+
+    /// The attempt index about to be made (0-based).
+    pub fn attempt(&self) -> usize {
+        self.tried_actions.len()
+    }
+}
+
+/// A recovery policy: a state-action rule deciding the next repair action.
+///
+/// Implementations must be deterministic functions of the context; any
+/// exploration randomness belongs to the *training* procedure, never to a
+/// deployed policy.
+pub trait RecoveryPolicy {
+    /// Chooses the next repair action for the given context.
+    fn decide(&self, ctx: &PolicyContext<'_>) -> RepairAction;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str;
+}
+
+impl<P: RecoveryPolicy + ?Sized> RecoveryPolicy for &P {
+    fn decide(&self, ctx: &PolicyContext<'_>) -> RepairAction {
+        (**self).decide(ctx)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<P: RecoveryPolicy + ?Sized> RecoveryPolicy for Box<P> {
+    fn decide(&self, ctx: &PolicyContext<'_>) -> RepairAction {
+        (**self).decide(ctx)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// The production-style cheapest-action-first policy (paper §4.1).
+///
+/// Maintains a retry budget per rung of the escalation ladder: it tries the
+/// cheapest action whose budget is not exhausted, and falls through to
+/// `RMA` when every automated rung is spent.
+///
+/// ```
+/// use recovery_simlog::{UserDefinedPolicy, PolicyContext, RecoveryPolicy, RepairAction, SymptomId};
+///
+/// let policy = UserDefinedPolicy::default();
+/// let ctx = PolicyContext {
+///     initial_symptom: SymptomId::new(0),
+///     observed_symptoms: &[],
+///     tried_actions: &[RepairAction::TryNop],
+/// };
+/// // TRYNOP's default budget of 1 is spent, so the policy escalates.
+/// assert_eq!(policy.decide(&ctx), RepairAction::Reboot);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserDefinedPolicy {
+    budgets: [usize; 3],
+    name: String,
+}
+
+impl Default for UserDefinedPolicy {
+    /// One try per automated rung (`TRYNOP`, `REBOOT`, `REIMAGE`), then
+    /// `RMA`. Single tries keep the log exactly reconstructible under the
+    /// replay hypotheses H1/H2 (a repeated identical attempt would be
+    /// compressed by replay, biasing cost estimates downward).
+    fn default() -> Self {
+        UserDefinedPolicy::new([1, 1, 1])
+    }
+}
+
+impl UserDefinedPolicy {
+    /// Creates a cheapest-first policy with the given per-rung budgets for
+    /// `TRYNOP`, `REBOOT` and `REIMAGE` (in that order). `RMA` is the
+    /// unlimited last resort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every budget is zero (the policy would jump straight to
+    /// `RMA`, which is not a cheapest-first policy).
+    pub fn new(budgets: [usize; 3]) -> Self {
+        assert!(
+            budgets.iter().any(|&b| b > 0),
+            "at least one automated action needs a non-zero budget"
+        );
+        let name = format!(
+            "user-defined[{}x TRYNOP, {}x REBOOT, {}x REIMAGE]",
+            budgets[0], budgets[1], budgets[2]
+        );
+        UserDefinedPolicy { budgets, name }
+    }
+
+    /// The per-rung retry budgets.
+    pub fn budgets(&self) -> [usize; 3] {
+        self.budgets
+    }
+}
+
+impl RecoveryPolicy for UserDefinedPolicy {
+    fn decide(&self, ctx: &PolicyContext<'_>) -> RepairAction {
+        for (i, &budget) in self.budgets.iter().enumerate() {
+            let action = RepairAction::from_index(i).expect("ladder index in range");
+            if ctx.tried_count(action) < budget {
+                return action;
+            }
+        }
+        RepairAction::Rma
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A policy that always applies the same action; useful as a baseline and
+/// in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedActionPolicy {
+    action: RepairAction,
+}
+
+impl FixedActionPolicy {
+    /// Creates a policy that always chooses `action`.
+    pub fn new(action: RepairAction) -> Self {
+        FixedActionPolicy { action }
+    }
+}
+
+impl RecoveryPolicy for FixedActionPolicy {
+    fn decide(&self, _ctx: &PolicyContext<'_>) -> RepairAction {
+        self.action
+    }
+
+    fn name(&self) -> &str {
+        self.action.as_str()
+    }
+}
+
+impl fmt::Display for UserDefinedPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(tried: &[RepairAction]) -> PolicyContext<'_> {
+        PolicyContext {
+            initial_symptom: SymptomId::new(0),
+            observed_symptoms: &[],
+            tried_actions: tried,
+        }
+    }
+
+    #[test]
+    fn default_ladder_escalates_in_order() {
+        let p = UserDefinedPolicy::default();
+        let mut tried = Vec::new();
+        let expected = [
+            RepairAction::TryNop,
+            RepairAction::Reboot,
+            RepairAction::Reimage,
+            RepairAction::Rma,
+            RepairAction::Rma,
+        ];
+        for want in expected {
+            let got = p.decide(&ctx(&tried));
+            assert_eq!(got, want, "after {tried:?}");
+            tried.push(got);
+        }
+    }
+
+    #[test]
+    fn custom_budgets_change_the_ladder() {
+        let p = UserDefinedPolicy::new([0, 1, 0]);
+        assert_eq!(p.decide(&ctx(&[])), RepairAction::Reboot);
+        assert_eq!(p.decide(&ctx(&[RepairAction::Reboot])), RepairAction::Rma);
+    }
+
+    #[test]
+    fn budget_counts_only_matching_actions() {
+        let p = UserDefinedPolicy::default();
+        // A REBOOT tried out-of-band does not consume TRYNOP's budget.
+        assert_eq!(
+            p.decide(&ctx(&[RepairAction::Reboot])),
+            RepairAction::TryNop
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero budget")]
+    fn rejects_all_zero_budgets() {
+        let _ = UserDefinedPolicy::new([0, 0, 0]);
+    }
+
+    #[test]
+    fn fixed_policy_never_wavers() {
+        let p = FixedActionPolicy::new(RepairAction::Reimage);
+        assert_eq!(p.decide(&ctx(&[])), RepairAction::Reimage);
+        assert_eq!(
+            p.decide(&ctx(&[RepairAction::Reimage; 5])),
+            RepairAction::Reimage
+        );
+        assert_eq!(p.name(), "REIMAGE");
+    }
+
+    #[test]
+    fn context_helpers() {
+        let tried = [
+            RepairAction::TryNop,
+            RepairAction::Reboot,
+            RepairAction::Reboot,
+        ];
+        let c = ctx(&tried);
+        assert_eq!(c.tried_count(RepairAction::Reboot), 2);
+        assert_eq!(c.tried_count(RepairAction::Rma), 0);
+        assert_eq!(c.attempt(), 3);
+    }
+
+    #[test]
+    fn trait_objects_and_references_work() {
+        let p = UserDefinedPolicy::default();
+        let by_ref: &dyn RecoveryPolicy = &p;
+        assert_eq!(by_ref.decide(&ctx(&[])), RepairAction::TryNop);
+        let boxed: Box<dyn RecoveryPolicy> = Box::new(FixedActionPolicy::new(RepairAction::Rma));
+        assert_eq!(boxed.decide(&ctx(&[])), RepairAction::Rma);
+        assert!(!boxed.name().is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! Summary statistics over recovery processes.
+//!
+//! These are the raw ingredients of the paper's Figures 5 (count of the
+//! most frequent error types) and 6 (total downtime per error type under
+//! the user-defined policy), grouped by a process's initial symptom — the
+//! paper's error-type proxy.
+
+use std::collections::HashMap;
+
+use crate::process::RecoveryProcess;
+use crate::symptom::SymptomId;
+use crate::time::SimDuration;
+
+/// Per-initial-symptom aggregate over a set of recovery processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymptomStats {
+    /// The initial symptom (error-type proxy).
+    pub symptom: SymptomId,
+    /// Number of processes that started with this symptom.
+    pub count: usize,
+    /// Total downtime across those processes.
+    pub total_downtime: SimDuration,
+}
+
+impl SymptomStats {
+    /// Mean time to repair for this symptom.
+    pub fn mttr(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs(self.total_downtime.as_secs() / self.count as u64)
+        }
+    }
+}
+
+/// Groups processes by initial symptom and aggregates count and downtime,
+/// returned in descending count order (the frequency ranking used
+/// throughout the paper's figures).
+pub fn by_initial_symptom(processes: &[RecoveryProcess]) -> Vec<SymptomStats> {
+    let mut map: HashMap<SymptomId, (usize, SimDuration)> = HashMap::new();
+    for p in processes {
+        let e = map
+            .entry(p.initial_symptom())
+            .or_insert((0, SimDuration::ZERO));
+        e.0 += 1;
+        e.1 += p.downtime();
+    }
+    let mut out: Vec<SymptomStats> = map
+        .into_iter()
+        .map(|(symptom, (count, total_downtime))| SymptomStats {
+            symptom,
+            count,
+            total_downtime,
+        })
+        .collect();
+    out.sort_by(|a, b| b.count.cmp(&a.count).then(a.symptom.cmp(&b.symptom)));
+    out
+}
+
+/// Total downtime across all processes.
+pub fn total_downtime(processes: &[RecoveryProcess]) -> SimDuration {
+    processes.iter().map(|p| p.downtime()).sum()
+}
+
+/// Mean time to repair across all processes, or zero when empty.
+pub fn mttr(processes: &[RecoveryProcess]) -> SimDuration {
+    if processes.is_empty() {
+        SimDuration::ZERO
+    } else {
+        SimDuration::from_secs(total_downtime(processes).as_secs() / processes.len() as u64)
+    }
+}
+
+/// Fraction of processes whose initial symptom is among the `k` most
+/// frequent ones (the paper's "40 most frequent error types constitute
+/// 98.68% of the total recovery processes").
+pub fn top_k_process_coverage(processes: &[RecoveryProcess], k: usize) -> f64 {
+    if processes.is_empty() {
+        return 0.0;
+    }
+    let stats = by_initial_symptom(processes);
+    let covered: usize = stats.iter().take(k).map(|s| s.count).sum();
+    covered as f64 / processes.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, LogGenerator};
+    use crate::machine::MachineId;
+    use crate::process::RecoveryProcess;
+    use crate::time::SimTime;
+
+    fn proc(symptom: u32, start: u64, downtime: u64) -> RecoveryProcess {
+        RecoveryProcess::new(
+            MachineId::new(0),
+            vec![(SimTime::from_secs(start), SymptomId::new(symptom))],
+            vec![],
+            SimTime::from_secs(start + downtime),
+        )
+    }
+
+    #[test]
+    fn aggregates_by_symptom_in_count_order() {
+        let processes = vec![
+            proc(0, 0, 100),
+            proc(1, 10, 50),
+            proc(1, 20, 70),
+            proc(2, 30, 1000),
+        ];
+        let stats = by_initial_symptom(&processes);
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats[0].symptom, SymptomId::new(1));
+        assert_eq!(stats[0].count, 2);
+        assert_eq!(stats[0].total_downtime, SimDuration::from_secs(120));
+        assert_eq!(stats[0].mttr(), SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn totals_and_mttr() {
+        let processes = vec![proc(0, 0, 100), proc(0, 10, 300)];
+        assert_eq!(total_downtime(&processes), SimDuration::from_secs(400));
+        assert_eq!(mttr(&processes), SimDuration::from_secs(200));
+        assert_eq!(mttr(&[]), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn top_k_coverage_bounds() {
+        let processes = vec![proc(0, 0, 1), proc(0, 1, 1), proc(1, 2, 1), proc(2, 3, 1)];
+        assert!((top_k_process_coverage(&processes, 1) - 0.5).abs() < 1e-12);
+        assert!((top_k_process_coverage(&processes, 3) - 1.0).abs() < 1e-12);
+        assert_eq!(top_k_process_coverage(&[], 3), 0.0);
+    }
+
+    #[test]
+    fn generated_log_is_zipf_shaped() {
+        let mut generated = LogGenerator::new(GeneratorConfig::small()).generate();
+        let procs = generated.log.split_processes();
+        let stats = by_initial_symptom(&procs);
+        assert!(stats.len() > 3);
+        // Counts are sorted descending and heavily skewed toward rank 0.
+        assert!(stats[0].count >= stats[stats.len() - 1].count * 2);
+    }
+}

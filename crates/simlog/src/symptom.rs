@@ -1,0 +1,199 @@
+//! Error symptoms and the symptom catalog.
+//!
+//! A *symptom* is the description text of an error entry in the recovery
+//! log, e.g. `error:IFM-ISNWatchdog` or `errorHardware:EventLog` (paper
+//! Table 1). The simulator interns every distinct description into a
+//! [`SymptomId`] through a [`SymptomCatalog`], which is the only place the
+//! textual names live; the rest of the workspace works with ids.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Interned identifier of one distinct symptom description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymptomId(u32);
+
+impl SymptomId {
+    /// Creates a symptom id from its catalog index.
+    ///
+    /// Usually obtained from [`SymptomCatalog::intern`] instead.
+    pub const fn new(index: u32) -> Self {
+        SymptomId(index)
+    }
+
+    /// The catalog index of this symptom.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for SymptomId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Bidirectional mapping between symptom descriptions and [`SymptomId`]s.
+///
+/// ```
+/// use recovery_simlog::SymptomCatalog;
+///
+/// let mut catalog = SymptomCatalog::new();
+/// let id = catalog.intern("errorHardware:EventLog");
+/// assert_eq!(catalog.name(id), Some("errorHardware:EventLog"));
+/// assert_eq!(catalog.intern("errorHardware:EventLog"), id); // stable
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymptomCatalog {
+    names: Vec<String>,
+    by_name: HashMap<String, SymptomId>,
+}
+
+impl SymptomCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its stable id. Idempotent.
+    pub fn intern(&mut self, name: &str) -> SymptomId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = SymptomId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up the id of `name` without interning it.
+    pub fn id(&self, name: &str) -> Option<SymptomId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The description text of `id`, if the id belongs to this catalog.
+    pub fn name(&self, id: SymptomId) -> Option<&str> {
+        self.names.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Number of distinct symptoms interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (SymptomId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (SymptomId(i as u32), n.as_str()))
+    }
+}
+
+/// Component names used to synthesize realistic symptom descriptions.
+const COMPONENTS: &[&str] = &[
+    "IFM-ISNWatchdog",
+    "EventLog",
+    "DiskScrubber",
+    "NetMonitor",
+    "SvcHeartbeat",
+    "MemCheck",
+    "FsIntegrity",
+    "RaidCtl",
+    "KernelTrap",
+    "PowerMgr",
+    "ThermalProbe",
+    "NicDriver",
+    "SmartCtl",
+    "PageAlloc",
+    "IoScheduler",
+    "ClockSync",
+    "BiosPost",
+    "FanCtl",
+    "CacheCoherence",
+    "LeaseManager",
+];
+
+/// Symptom categories that prefix the description, mirroring the mixture of
+/// `error:` and `errorHardware:` style entries in the paper's Table 1.
+const CATEGORIES: &[&str] = &["error", "errorHardware", "errorSoftware", "errorNetwork"];
+
+/// Deterministically synthesizes the `n`-th symptom description.
+///
+/// The mapping is injective: distinct `n` always produce distinct names, so
+/// a generated catalog never aliases two logical symptoms.
+pub fn synth_symptom_name(n: u32) -> String {
+    let cat = CATEGORIES[(n as usize / COMPONENTS.len()) % CATEGORIES.len()];
+    let comp = COMPONENTS[n as usize % COMPONENTS.len()];
+    let series = n as usize / (COMPONENTS.len() * CATEGORIES.len());
+    if series == 0 {
+        format!("{cat}:{comp}")
+    } else {
+        format!("{cat}:{comp}-{series}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut c = SymptomCatalog::new();
+        let a = c.intern("error:A");
+        let b = c.intern("error:B");
+        assert_ne!(a, b);
+        assert_eq!(c.intern("error:A"), a);
+        assert_eq!(c.len(), 2);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+    }
+
+    #[test]
+    fn lookup_both_directions() {
+        let mut c = SymptomCatalog::new();
+        let id = c.intern("errorHardware:EventLog");
+        assert_eq!(c.id("errorHardware:EventLog"), Some(id));
+        assert_eq!(c.name(id), Some("errorHardware:EventLog"));
+        assert_eq!(c.id("nope"), None);
+        assert_eq!(c.name(SymptomId::new(99)), None);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut c = SymptomCatalog::new();
+        c.intern("x");
+        c.intern("y");
+        let pairs: Vec<_> = c.iter().collect();
+        assert_eq!(pairs[0], (SymptomId::new(0), "x"));
+        assert_eq!(pairs[1], (SymptomId::new(1), "y"));
+    }
+
+    #[test]
+    fn empty_catalog_reports_empty() {
+        let c = SymptomCatalog::new();
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn synth_names_are_unique_and_well_formed() {
+        let mut seen = HashSet::new();
+        for n in 0..500 {
+            let name = synth_symptom_name(n);
+            assert!(name.contains(':'), "{name}");
+            assert!(seen.insert(name), "duplicate name at {n}");
+        }
+    }
+
+    #[test]
+    fn synth_first_name_matches_paper_style() {
+        assert_eq!(synth_symptom_name(0), "error:IFM-ISNWatchdog");
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: the whole pipeline in ~40 lines.
+//!
+//! Generates a small synthetic cluster recovery log, filters noisy
+//! processes, trains a recovery policy offline with the selection-tree
+//! accelerator, and evaluates it against the held-out tail of the log.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use recovery_core::evaluate::{evaluate, time_ordered_split};
+use recovery_core::experiment::ExperimentContext;
+use recovery_core::platform::{CostEstimation, SimulationPlatform};
+use recovery_core::policy::{HybridPolicy, UserStatePolicy};
+use recovery_core::selection_tree::{SelectionTreeConfig, SelectionTreeTrainer};
+use recovery_core::trainer::{OfflineTrainer, TrainerConfig};
+use recovery_simlog::{GeneratorConfig, LogGenerator};
+
+fn main() {
+    // 1. A recovery log, as event monitoring would have recorded it.
+    //    (In production this would be parsed from disk with
+    //    `RecoveryLog::from_text`.)
+    let mut generated = LogGenerator::new(GeneratorConfig::small()).generate();
+    let processes = generated.log.split_processes();
+    println!(
+        "log: {} entries, {} recovery processes",
+        generated.log.len(),
+        processes.len()
+    );
+
+    // 2. Infer error types and filter noisy multi-fault processes.
+    let ctx = ExperimentContext::prepare(processes, 0.1, 10);
+    println!(
+        "noise filter kept {:.1}% of processes; {} error types selected",
+        100.0 * ctx.kept_fraction(),
+        ctx.types.len()
+    );
+
+    // 3. Train on the first 40% of the log (by time).
+    let (train, test) = time_ordered_split(&ctx.clean, 0.4);
+    let trainer = OfflineTrainer::new(train, TrainerConfig::default());
+    let tree = SelectionTreeTrainer::new(&trainer, SelectionTreeConfig::default());
+    let (trained, stats) = tree.train(&ctx.types);
+    let sweeps: u64 = stats.iter().map(|s| s.sweeps).sum();
+    println!("trained {} types in {sweeps} sweeps", stats.len());
+
+    // 4. Evaluate on the held-out 60%, with the user-policy fallback.
+    let platform = SimulationPlatform::from_processes(train, CostEstimation::AverageOnly);
+    let hybrid = HybridPolicy::new(trained, UserStatePolicy::default());
+    let report = evaluate(&hybrid, &platform, test, &ctx.types, 20);
+    println!(
+        "hybrid policy downtime: {:.2}% of the user-defined policy (coverage {:.1}%)",
+        100.0 * report.overall_relative_cost(),
+        100.0 * report.overall_coverage()
+    );
+}

@@ -1,0 +1,112 @@
+//! Integration tests of the persistence formats: the textual recovery log
+//! and the policy file, including adversarial inputs and property-based
+//! round trips.
+
+use proptest::prelude::*;
+
+use recovery_core::error_type::ErrorType;
+use recovery_core::persist::{policy_from_text, policy_to_text, POLICY_HEADER};
+use recovery_core::policy::{DecidePolicy, TrainedPolicy};
+use recovery_core::state::{ActionMultiset, RecoveryState};
+use recovery_simlog::{RecoveryLog, RepairAction, SymptomCatalog};
+
+fn arb_action() -> impl Strategy<Value = RepairAction> {
+    prop_oneof![
+        Just(RepairAction::TryNop),
+        Just(RepairAction::Reboot),
+        Just(RepairAction::Reimage),
+        Just(RepairAction::Rma),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary policies survive the text round trip: same entries, same
+    /// decisions, same values.
+    #[test]
+    fn policy_round_trip(
+        entries in proptest::collection::vec(
+            (0u32..8, proptest::collection::vec(arb_action(), 0..6), arb_action(), 0.0f64..1e6),
+            1..40
+        )
+    ) {
+        let mut symptoms = SymptomCatalog::new();
+        for i in 0..8u32 {
+            symptoms.intern(&format!("error:Kind{i}"));
+        }
+        let mut policy = TrainedPolicy::default();
+        for (sym, tried, action, value) in &entries {
+            let et = ErrorType::new(symptoms.id(&format!("error:Kind{sym}")).unwrap());
+            let state = RecoveryState::new(et, ActionMultiset::from_actions(tried.iter().copied()));
+            policy.q_mut().set(state, *action, *value);
+        }
+        let text = policy_to_text(&policy, &symptoms);
+        let mut symptoms2 = SymptomCatalog::new();
+        let parsed = policy_from_text(&text, &mut symptoms2).expect("own output parses");
+        prop_assert_eq!(parsed.q().len(), policy.q().len());
+        // Every decision agrees (modulo the symptom renumbering).
+        for ((state, _), _, _) in policy.q().iter() {
+            let name = symptoms.name(state.error_type().symptom()).unwrap();
+            let et2 = ErrorType::new(symptoms2.id(name).expect("name interned on parse"));
+            let state2 = RecoveryState::new(et2, state.tried());
+            prop_assert_eq!(policy.decide(state), parsed.decide(&state2));
+        }
+    }
+
+    /// The parser never panics on arbitrary input — it returns an error
+    /// or a policy.
+    #[test]
+    fn policy_parser_is_panic_free(text in "\\PC*") {
+        let mut symptoms = SymptomCatalog::new();
+        let _ = policy_from_text(&text, &mut symptoms);
+    }
+
+    /// The log parser never panics on arbitrary input.
+    #[test]
+    fn log_parser_is_panic_free(text in "\\PC*") {
+        let _ = RecoveryLog::from_text(&text);
+    }
+
+    /// The log parser never panics on structured-looking but corrupted
+    /// lines.
+    #[test]
+    fn log_parser_rejects_corrupted_fields(
+        ts in "[0-9]{4}-[0-9]{2}-[0-9]{2} [0-9]{2}:[0-9]{2}:[0-9]{2}",
+        machine in "M?[0-9a-z]{0,6}",
+        desc in "[ -~]{0,20}",
+    ) {
+        let line = format!("{ts}\t{machine}\t{desc}");
+        let _ = RecoveryLog::from_text(&line);
+    }
+}
+
+#[test]
+fn policy_file_is_human_readable_and_diff_stable() {
+    let mut symptoms = SymptomCatalog::new();
+    let et = ErrorType::new(symptoms.intern("errorHardware:EventLog"));
+    let mut policy = TrainedPolicy::default();
+    policy
+        .q_mut()
+        .set(RecoveryState::initial(et), RepairAction::Reimage, 12387.0);
+    let text = policy_to_text(&policy, &symptoms);
+    assert_eq!(
+        text,
+        format!("{POLICY_HEADER}\nerrorHardware:EventLog | - | REIMAGE | 12387.000\n")
+    );
+}
+
+#[test]
+fn truncated_policy_files_error_with_line_numbers() {
+    let mut symptoms = SymptomCatalog::new();
+    let text = format!("{POLICY_HEADER}\nerror:A | - | REIMAGE\n");
+    let err = policy_from_text(&text, &mut symptoms).unwrap_err();
+    assert_eq!(err.line(), 2);
+}
+
+#[test]
+fn log_files_with_windows_line_endings_parse() {
+    let text = "2006-01-01 00:00:00\tM0001\terror:A\r\n2006-01-01 00:10:00\tM0001\tSuccess\r\n";
+    let mut log = RecoveryLog::from_text(text).unwrap();
+    assert_eq!(log.split_processes().len(), 1);
+}

@@ -1,0 +1,166 @@
+//! End-to-end integration tests across all workspace crates:
+//! generation → noise filtering → training → evaluation → persistence →
+//! live redeployment.
+
+use recovery_core::evaluate::{evaluate, time_ordered_split};
+use recovery_core::experiment::{ExperimentContext, TestRun, TestRunConfig};
+use recovery_core::persist::{policy_from_text, policy_to_text};
+use recovery_core::platform::{CostEstimation, SimulationPlatform};
+use recovery_core::policy::{HybridPolicy, LivePolicy, UserStatePolicy};
+use recovery_core::selection_tree::{SelectionTreeConfig, SelectionTreeTrainer};
+use recovery_core::trainer::{OfflineTrainer, TrainerConfig};
+use recovery_simlog::{
+    stats, ClusterSim, GeneratorConfig, LogGenerator, RecoveryLog, UserDefinedPolicy,
+};
+
+fn small_context() -> ExperimentContext {
+    let mut generated = LogGenerator::new(GeneratorConfig::small()).generate();
+    ExperimentContext::prepare(generated.log.split_processes(), 0.1, 8)
+}
+
+#[test]
+fn full_pipeline_beats_user_policy_and_covers_everything() {
+    let ctx = small_context();
+    let run = TestRun::execute_in_context(
+        &TestRunConfig {
+            top_k: 8,
+            ..TestRunConfig::new(0.4)
+        },
+        &ctx,
+    );
+    // The hybrid must cover everything (paper §3.4 guarantee).
+    assert_eq!(run.hybrid_report.overall_coverage(), 1.0);
+    // Normalized against the user policy's own replay estimate, the
+    // trained policy must not lose, and should realize visible savings.
+    let trained = run.trained_report.overall_relative_cost();
+    let user = run.user_report.overall_relative_cost();
+    assert!(
+        trained < user,
+        "trained {trained} should beat user {user} on the same platform"
+    );
+    assert!(
+        trained / user < 0.95,
+        "expected >5% normalized savings, got trained {trained} vs user {user}"
+    );
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let run = |seed: u64| {
+        let mut generated = LogGenerator::new(GeneratorConfig::small().with_seed(seed)).generate();
+        let ctx = ExperimentContext::prepare(generated.log.split_processes(), 0.1, 6);
+        let r = TestRun::execute_in_context(
+            &TestRunConfig {
+                top_k: 6,
+                ..TestRunConfig::new(0.4)
+            },
+            &ctx,
+        );
+        (
+            r.trained_report.overall_relative_cost(),
+            r.trained_report.overall_coverage(),
+            r.stats.iter().map(|s| s.sweeps).sum::<u64>(),
+        )
+    };
+    assert_eq!(run(42), run(42));
+    assert_ne!(run(42), run(43));
+}
+
+#[test]
+fn textual_log_round_trip_preserves_the_whole_experiment() {
+    let mut generated = LogGenerator::new(GeneratorConfig::small()).generate();
+    let text = generated.log.to_text();
+    let mut reparsed = RecoveryLog::from_text(&text).expect("own output must parse");
+    assert_eq!(reparsed.len(), generated.log.len());
+
+    let direct = ExperimentContext::prepare(generated.log.split_processes(), 0.1, 8);
+    let roundtrip = ExperimentContext::prepare(reparsed.split_processes(), 0.1, 8);
+    assert_eq!(direct.clean.len(), roundtrip.clean.len());
+    assert_eq!(direct.noisy_count, roundtrip.noisy_count);
+    assert_eq!(direct.types.len(), roundtrip.types.len());
+    // Frequencies per rank agree (ids may be renumbered, counts may not).
+    for rank in 0..direct.types.len() {
+        assert_eq!(
+            direct.ranking.get(rank).unwrap().1,
+            roundtrip.ranking.get(rank).unwrap().1,
+            "rank {rank} count"
+        );
+    }
+}
+
+#[test]
+fn persisted_policy_evaluates_identically() {
+    let mut generated = LogGenerator::new(GeneratorConfig::small()).generate();
+    let symptoms = generated.log.symptoms().clone();
+    let ctx = ExperimentContext::prepare(generated.log.split_processes(), 0.1, 8);
+    let (train, test) = time_ordered_split(&ctx.clean, 0.4);
+    let trainer = OfflineTrainer::new(train, TrainerConfig::fast());
+    let tree = SelectionTreeTrainer::new(&trainer, SelectionTreeConfig::default());
+    let (policy, _) = tree.train(&ctx.types);
+
+    let platform = SimulationPlatform::from_processes(train, CostEstimation::AverageOnly);
+    let before = evaluate(&policy, &platform, test, &ctx.types, 20);
+
+    // Round-trip through the text format against the same catalog.
+    let text = policy_to_text(&policy, &symptoms);
+    let mut symptoms2 = symptoms.clone();
+    let reloaded = policy_from_text(&text, &mut symptoms2).expect("own output must parse");
+    let after = evaluate(&reloaded, &platform, test, &ctx.types, 20);
+    assert_eq!(before.per_type.len(), after.per_type.len());
+    for (a, b) in before.per_type.iter().zip(&after.per_type) {
+        assert_eq!(a.handled, b.handled);
+        assert!((a.estimated_cost - b.estimated_cost).abs() < 1e-3);
+    }
+}
+
+#[test]
+fn live_redeployment_improves_mttr() {
+    // Train offline on one window, then drive the *live* simulator with
+    // the learned policy and compare realized MTTR on a fresh window of
+    // the same cluster (same catalog, new fault draws).
+    let config = GeneratorConfig::small();
+    let mut generated = LogGenerator::new(config.clone()).generate();
+    let ctx = ExperimentContext::prepare(generated.log.split_processes(), 0.1, 8);
+    let trainer = OfflineTrainer::new(&ctx.clean, TrainerConfig::fast());
+    let tree = SelectionTreeTrainer::new(&trainer, SelectionTreeConfig::default());
+    let (trained, _) = tree.train(&ctx.types);
+
+    let catalog_seed = config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x0CA7_A106;
+    let catalog = config.catalog.generate(catalog_seed);
+    let live = LivePolicy::new(HybridPolicy::new(trained, UserStatePolicy::default()));
+    let (mut log_a, _) = ClusterSim::new(&catalog, live, config.cluster.clone(), 777).run();
+    let (mut log_b, _) = ClusterSim::new(
+        &catalog,
+        UserDefinedPolicy::default(),
+        config.cluster.clone(),
+        777,
+    )
+    .run();
+    let mttr_trained = stats::mttr(&log_a.split_processes()).as_secs_f64();
+    let mttr_user = stats::mttr(&log_b.split_processes()).as_secs_f64();
+    assert!(
+        mttr_trained < mttr_user,
+        "live trained MTTR {mttr_trained} should beat user {mttr_user}"
+    );
+}
+
+#[test]
+fn selection_tree_and_tabular_agree_at_convergence() {
+    let ctx = small_context();
+    let (train, _) = time_ordered_split(&ctx.clean, 0.5);
+    let trainer = OfflineTrainer::new(train, TrainerConfig::default());
+    let tree = SelectionTreeTrainer::new(&trainer, SelectionTreeConfig::default());
+    // For the most frequent (data-rich) type, both methods must pick the
+    // same first action.
+    let et = ctx.types[0];
+    use recovery_core::policy::{DecidePolicy, TrainedPolicy};
+    use recovery_core::state::RecoveryState;
+    let (tab_q, _) = trainer.train_type(et).unwrap();
+    let tree_q = tree.train_type(et).unwrap().q;
+    let s0 = RecoveryState::initial(et);
+    assert_eq!(
+        TrainedPolicy::new(tab_q).decide(&s0),
+        TrainedPolicy::new(tree_q).decide(&s0),
+        "methods disagree on the first action of the top type"
+    );
+}

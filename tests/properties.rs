@@ -1,0 +1,332 @@
+//! Property-based tests (proptest) on cross-crate invariants:
+//! serialization round-trips, the replay hypotheses, Q-learning vs exact
+//! dynamic programming, m-pattern monotonicity, and the optimality of the
+//! per-type DP solution.
+
+use proptest::prelude::*;
+
+use recovery_core::error_type::ErrorType;
+use recovery_core::exact::EmpiricalTypeModel;
+use recovery_core::platform::{CostEstimation, SimulationPlatform};
+use recovery_core::policy::UserStatePolicy;
+use recovery_core::state::ActionMultiset;
+use recovery_mdp::{
+    value_iteration, BoltzmannSelector, QLearning, QLearningConfig, SampledMdp, TabularMdp,
+    TemperatureSchedule,
+};
+use recovery_mpattern::TransactionDb;
+use recovery_simlog::{
+    ActionRecord, LogEntry, LogEvent, MachineId, RecoveryLog, RecoveryProcess, RepairAction,
+    SimTime, SymptomId,
+};
+
+// ---------- generators ----------
+
+fn arb_action() -> impl Strategy<Value = RepairAction> {
+    prop_oneof![
+        Just(RepairAction::TryNop),
+        Just(RepairAction::Reboot),
+        Just(RepairAction::Reimage),
+        Just(RepairAction::Rma),
+    ]
+}
+
+/// A random, well-formed recovery process: a symptom burst, then an
+/// escalating action ladder ending at `required`, then success.
+fn arb_process(machine: u32, start: u64) -> impl Strategy<Value = RecoveryProcess> {
+    (
+        arb_action(),
+        0u32..5,
+        1u64..5000,
+        proptest::collection::vec(0u32..12, 1..4),
+    )
+        .prop_map(move |(required, extra_sym, gap, symptom_ids)| {
+            let mut symptoms: Vec<(SimTime, SymptomId)> = symptom_ids
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (SimTime::from_secs(start + i as u64), SymptomId::new(s)))
+                .collect();
+            symptoms.truncate(1 + extra_sym as usize);
+            let mut actions = Vec::new();
+            let mut now = start + 100;
+            for a in RepairAction::ALL {
+                actions.push(ActionRecord {
+                    time: SimTime::from_secs(now),
+                    action: a,
+                });
+                now += gap;
+                if a.at_least_as_strong_as(required) {
+                    break;
+                }
+            }
+            RecoveryProcess::new(
+                MachineId::new(machine),
+                symptoms,
+                actions,
+                SimTime::from_secs(now),
+            )
+        })
+}
+
+fn arb_processes() -> impl Strategy<Value = Vec<RecoveryProcess>> {
+    proptest::collection::vec(arb_action(), 3..25).prop_flat_map(|reqs| {
+        let strategies: Vec<_> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, _)| arb_process(i as u32, i as u64 * 1_000_000))
+            .collect();
+        strategies
+    })
+}
+
+// ---------- simlog ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any log built from valid entries survives the textual round trip
+    /// with identical processes.
+    #[test]
+    fn log_text_round_trip(processes in arb_processes()) {
+        let mut log = RecoveryLog::new();
+        // Intern enough symptom names for every id used above.
+        let ids: Vec<SymptomId> =
+            (0..12).map(|i| log.symptoms_mut().intern(&format!("error:Component{i}"))).collect();
+        let _ = ids;
+        for p in &processes {
+            for &(t, s) in p.symptoms() {
+                log.push(LogEntry { time: t, machine: p.machine(), event: LogEvent::Symptom(s) });
+            }
+            for a in p.actions() {
+                log.push(LogEntry { time: a.time, machine: p.machine(), event: LogEvent::Action(a.action) });
+            }
+            log.push(LogEntry { time: p.success_time(), machine: p.machine(), event: LogEvent::Success });
+        }
+        let text = log.to_text();
+        let mut parsed = RecoveryLog::from_text(&text).expect("own output parses");
+        prop_assert_eq!(parsed.len(), log.len());
+        let a = log.split_processes();
+        let b = parsed.split_processes();
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.downtime(), y.downtime());
+            prop_assert_eq!(x.actions().len(), y.actions().len());
+        }
+    }
+
+    /// SimTime calendar round trip over ~40 years of seconds.
+    #[test]
+    fn simtime_round_trip(secs in 0u64..1_300_000_000) {
+        let t = SimTime::from_secs(secs);
+        let shown = t.to_string();
+        prop_assert_eq!(shown.parse::<SimTime>().unwrap(), t);
+    }
+
+    /// Multisets are order-insensitive and count exactly.
+    #[test]
+    fn multiset_order_insensitive(mut actions in proptest::collection::vec(arb_action(), 0..20)) {
+        let a = ActionMultiset::from_actions(actions.clone());
+        actions.reverse();
+        let b = ActionMultiset::from_actions(actions.clone());
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a.total(), actions.len());
+    }
+}
+
+// ---------- platform / replay hypotheses ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// H2 monotonicity: if an action cures in replay, every stronger
+    /// action also cures; costs are positive and finite.
+    #[test]
+    fn replay_verdicts_are_monotone(processes in arb_processes()) {
+        let platform = SimulationPlatform::from_processes(&processes, CostEstimation::PreferActual);
+        for p in &processes {
+            let mut prev_cured = false;
+            for a in RepairAction::ALL {
+                let outcome = platform.attempt(p, a, 0);
+                prop_assert!(outcome.cost.is_finite() && outcome.cost >= 0.0);
+                prop_assert!(
+                    !prev_cured || outcome.cured,
+                    "stronger action flipped a cure to a failure"
+                );
+                prev_cured = outcome.cured;
+            }
+            // RMA always cures (manual repair).
+            prop_assert!(platform.attempt(p, RepairAction::Rma, 0).cured);
+        }
+    }
+
+    /// Replaying the generating ladder in actual-cost mode reconstructs
+    /// each process's downtime exactly.
+    #[test]
+    fn ladder_replay_is_exact(processes in arb_processes()) {
+        let platform = SimulationPlatform::from_processes(&processes, CostEstimation::PreferActual);
+        let user = UserStatePolicy::default();
+        for p in &processes {
+            let replay = platform.replay(p, &user, 20);
+            prop_assert!(replay.handled());
+            let diff = (replay.total_cost() - p.downtime().as_secs_f64()).abs();
+            prop_assert!(diff < 1e-6, "replay cost {} vs downtime {}", replay.total_cost(), p.downtime().as_secs());
+        }
+    }
+
+    /// The exact DP optimum never loses to the user ladder (it optimizes
+    /// over a superset of policies) and its self-replay matches its value.
+    #[test]
+    fn dp_optimum_dominates_the_ladder(reqs in proptest::collection::vec(arb_action(), 2..30)) {
+        let processes: Vec<RecoveryProcess> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, &req)| {
+                let start = i as u64 * 1_000_000;
+                let mut actions = Vec::new();
+                let mut now = start + 100;
+                for a in RepairAction::ALL {
+                    actions.push(ActionRecord { time: SimTime::from_secs(now), action: a });
+                    now += 600 * (a.index() as u64 + 1);
+                    if a.at_least_as_strong_as(req) {
+                        break;
+                    }
+                }
+                RecoveryProcess::new(
+                    MachineId::new(i as u32),
+                    vec![(SimTime::from_secs(start), SymptomId::new(1))],
+                    actions,
+                    SimTime::from_secs(now),
+                )
+            })
+            .collect();
+        let platform = SimulationPlatform::from_processes(&processes, CostEstimation::AverageOnly);
+        let refs: Vec<&RecoveryProcess> = processes.iter().collect();
+        let model = EmpiricalTypeModel::new(ErrorType::new(SymptomId::new(1)), &refs, &platform);
+        let opt = model.optimal(20);
+        let user_cost = model.policy_cost(&UserStatePolicy::default(), 20).unwrap();
+        prop_assert!(opt.expected_cost <= user_cost + 1e-6,
+            "DP {} worse than ladder {}", opt.expected_cost, user_cost);
+        let self_cost = model.policy_cost(&opt, 20).unwrap();
+        prop_assert!((self_cost - opt.expected_cost).abs() < 1e-6);
+    }
+}
+
+// ---------- mdp ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Q-learning converges to the value-iteration optimum on random
+    /// proper episodic MDPs.
+    #[test]
+    fn q_learning_matches_value_iteration(seed in 0u64..5000) {
+        use rand::SeedableRng;
+        let mut model_rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mdp = TabularMdp::random_episodic(5, 3, &mut model_rng);
+        let exact = value_iteration(&mdp, 1.0, 1e-12, 10_000);
+        let mut env = SampledMdp::new(&mdp, rand::rngs::StdRng::seed_from_u64(seed ^ 0xA5), vec![0]);
+        let config = QLearningConfig {
+            max_episodes: 40_000,
+            schedule: TemperatureSchedule::Geometric { t0: 200.0, decay: 0.9995, floor: 0.05 },
+            convergence_tol: 0.05,
+            convergence_window: 300,
+            ..QLearningConfig::default()
+        };
+        let result = QLearning::new(config)
+            .train(&mut env, &mut rand::rngs::StdRng::seed_from_u64(seed ^ 0x5A));
+        let (_, v0) = result.q.best_action(&0usize, &[0, 1, 2]).unwrap();
+        let rel = (v0 - exact.values[0]).abs() / exact.values[0].max(1.0);
+        prop_assert!(rel < 0.12, "learned {} vs exact {} (rel {rel})", v0, exact.values[0]);
+    }
+
+    /// Boltzmann selection probabilities are a valid distribution and
+    /// favour cheaper actions, for arbitrary finite costs.
+    #[test]
+    fn boltzmann_is_a_distribution(
+        costs in proptest::collection::vec(0.0f64..1e7, 2..6),
+        t in 0.1f64..1e6,
+    ) {
+        let sel = BoltzmannSelector::new();
+        let p = sel.probabilities(&costs, t);
+        let total: f64 = p.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        // The arg-min cost has the max probability.
+        let min_i = costs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let max_p = p.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(p[min_i] >= max_p - 1e-12);
+    }
+}
+
+// ---------- mpattern ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dependence is in [0, 1] and the cohesive fraction is non-increasing
+    /// in minp, for arbitrary transaction databases.
+    #[test]
+    fn mpattern_monotonicity(
+        transactions in proptest::collection::vec(
+            proptest::collection::vec(0u32..15, 1..6), 1..40
+        )
+    ) {
+        let db: TransactionDb<u32> = transactions.into_iter().collect();
+        for t in db.transactions() {
+            let d = db.dependence(t);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&d), "dependence {d}");
+        }
+        let mut prev = f64::INFINITY;
+        for i in 1..=10 {
+            let f = db.cohesive_fraction(i as f64 / 10.0);
+            prop_assert!(f <= prev + 1e-12, "cohesion increased at {i}");
+            prev = f;
+        }
+    }
+
+    /// Support is anti-monotone: adding an item never raises support.
+    #[test]
+    fn support_is_anti_monotone(
+        transactions in proptest::collection::vec(
+            proptest::collection::vec(0u32..10, 1..5), 1..30
+        ),
+        a in 0u32..10,
+        b in 0u32..10,
+    ) {
+        let db: TransactionDb<u32> = transactions.into_iter().collect();
+        let single = db.support(&[a]);
+        let mut pair = vec![a, b];
+        pair.sort_unstable();
+        pair.dedup();
+        prop_assert!(db.support(&pair) <= single);
+    }
+}
+
+// ---------- mpattern differential testing ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The level-wise Apriori miner agrees exactly with brute-force
+    /// enumeration on small item universes, across thresholds.
+    #[test]
+    fn miner_matches_brute_force(
+        transactions in proptest::collection::vec(
+            proptest::collection::vec(0u32..7, 1..5), 1..25
+        ),
+        minp_steps in 1u32..10,
+        min_support in 1usize..4,
+    ) {
+        let db: TransactionDb<u32> = transactions.into_iter().collect();
+        let minp = minp_steps as f64 / 10.0;
+        let mined = recovery_mpattern::MPatternMiner::new(minp)
+            .with_min_support(min_support)
+            .mine(&db);
+        let reference = recovery_mpattern::brute_force_mine(&db, minp, min_support);
+        prop_assert_eq!(mined, reference);
+    }
+}
