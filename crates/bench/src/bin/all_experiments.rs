@@ -4,14 +4,18 @@
 
 use recovery_core::experiment::{
     fig3_cohesion_curve, fig5_type_counts, fig6_type_downtime, fig7_platform_validation,
-    sweep_comparison, table1_example, ExperimentContext, TestRun, TestRunConfig,
+    sweep_comparison_observed, table1_example, ExperimentContext, TestRun, TestRunConfig,
 };
 use recovery_core::selection_tree::SelectionTreeConfig;
 use recovery_core::trainer::TrainerConfig;
 
 fn main() {
     let scale = recovery_bench::scale_from_args(0.25);
-    let mut generated = recovery_bench::generate(scale);
+    let timings = recovery_bench::PhaseTimings::from_args();
+    let mut generated = {
+        let _phase = timings.phase("generate");
+        recovery_bench::generate(scale)
+    };
     let entries = generated.log.len();
 
     // --- Table 1 ---
@@ -39,7 +43,10 @@ fn main() {
         &rows,
     );
 
-    let ctx = ExperimentContext::prepare(processes, recovery_bench::MINP, recovery_bench::TOP_K);
+    let ctx = {
+        let _phase = timings.phase("prepare");
+        ExperimentContext::prepare(processes, recovery_bench::MINP, recovery_bench::TOP_K)
+    };
     println!(
         "noise filter: kept {:.2}% of processes; {} symptom clusters; top-{} types cover {:.2}%\n",
         100.0 * ctx.kept_fraction(),
@@ -63,7 +70,10 @@ fn main() {
     );
 
     // --- Figure 7 ---
-    let validation = fig7_platform_validation(&ctx, 0.4);
+    let validation = {
+        let _phase = timings.phase("fig7_validation");
+        fig7_platform_validation(&ctx, 0.4)
+    };
     let worst = validation
         .per_type
         .iter()
@@ -81,7 +91,12 @@ fn main() {
         .iter()
         .map(|&f| {
             eprintln!("# training at fraction {f} ...");
-            TestRun::execute_in_context(&recovery_bench::figure_test_config(f), &ctx)
+            let _phase = timings.phase("test_run");
+            TestRun::execute_in_context_observed(
+                &recovery_bench::figure_test_config(f),
+                &ctx,
+                timings.telemetry(),
+            )
         })
         .collect();
 
@@ -153,7 +168,15 @@ fn main() {
         ..TestRunConfig::new(0.4)
     }
     .with_trainer(TrainerConfig::paper_faithful());
-    let cmp = sweep_comparison(&config, &SelectionTreeConfig::default(), &ctx);
+    let cmp = {
+        let _phase = timings.phase("sweep_comparison");
+        sweep_comparison_observed(
+            &config,
+            &SelectionTreeConfig::default(),
+            &ctx,
+            timings.telemetry(),
+        )
+    };
     let rows: Vec<Vec<String>> = cmp
         .rows
         .iter()
@@ -192,4 +215,5 @@ fn main() {
         "total sweeps: with tree {with}, without {without} ({:.1}x speedup)",
         without as f64 / with as f64
     );
+    timings.report();
 }

@@ -3,13 +3,17 @@
 //! method runs value-convergence detection under a 160k sweep cap; the
 //! selection tree stops at candidate stability and scans exactly.
 
-use recovery_core::experiment::{sweep_comparison, TestRunConfig};
+use recovery_core::experiment::{sweep_comparison_observed, TestRunConfig};
 use recovery_core::selection_tree::SelectionTreeConfig;
 use recovery_core::trainer::TrainerConfig;
 
 fn main() {
     let scale = recovery_bench::scale_from_args(0.25);
-    let ctx = recovery_bench::prepare(scale);
+    let timings = recovery_bench::PhaseTimings::from_args();
+    let ctx = {
+        let _phase = timings.phase("prepare");
+        recovery_bench::prepare(scale)
+    };
     // The paper's standard-RL arm: literal Figure 2 under the 160k cap.
     let config = TestRunConfig {
         top_k: recovery_bench::TOP_K,
@@ -20,7 +24,12 @@ fn main() {
     eprintln!(
         "# training all types twice (standard + selection tree); this is the slow figure ..."
     );
-    let cmp = sweep_comparison(&config, &SelectionTreeConfig::default(), &ctx);
+    let cmp = sweep_comparison_observed(
+        &config,
+        &SelectionTreeConfig::default(),
+        &ctx,
+        timings.telemetry(),
+    );
     let rows: Vec<Vec<String>> = cmp
         .rows
         .iter()
@@ -44,4 +53,5 @@ fn main() {
         "total sweeps: with tree {with}, without {without} ({:.1}x)",
         without as f64 / with as f64
     );
+    timings.report();
 }

@@ -19,6 +19,7 @@
 use recovery_core::experiment::{ExperimentContext, TestRunConfig};
 use recovery_core::trainer::TrainerConfig;
 use recovery_simlog::{GeneratedLog, GeneratorConfig, LogGenerator};
+use recovery_telemetry::{JsonlSink, Span, Telemetry};
 
 /// The paper's four training fractions (tests 1–4).
 pub const TEST_FRACTIONS: [f64; 4] = [0.2, 0.4, 0.6, 0.8];
@@ -108,6 +109,104 @@ pub fn figure_test_config(fraction: f64) -> TestRunConfig {
     .with_trainer(figure_trainer())
 }
 
+/// Per-phase wall-clock timing for the figure binaries.
+///
+/// Wraps a [`Telemetry`] handle: each [`PhaseTimings::phase`] call opens
+/// a span, and [`PhaseTimings::report`] prints the aggregated per-phase
+/// table on stderr (plus a JSONL snapshot when a sink was configured).
+///
+/// ```
+/// let timings = recovery_bench::PhaseTimings::new();
+/// {
+///     let _phase = timings.phase("generate");
+///     // ... work ...
+/// }
+/// timings.report();
+/// ```
+#[derive(Debug)]
+pub struct PhaseTimings {
+    telemetry: Telemetry,
+}
+
+impl PhaseTimings {
+    /// A timer recording in memory only.
+    pub fn new() -> Self {
+        PhaseTimings {
+            telemetry: Telemetry::new(),
+        }
+    }
+
+    /// A timer that honours `--metrics-out <path>` (or the
+    /// `RECOVERY_METRICS_OUT` environment variable): span events and the
+    /// final snapshot are additionally written there as JSON lines.
+    pub fn from_args() -> Self {
+        let mut path = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--metrics-out" {
+                path = args.next();
+            } else if let Some(v) = a.strip_prefix("--metrics-out=") {
+                path = Some(v.to_owned());
+            }
+        }
+        let path = path.or_else(|| std::env::var("RECOVERY_METRICS_OUT").ok());
+        let telemetry = match path.as_deref().and_then(|p| JsonlSink::to_file(p).ok()) {
+            Some(sink) => Telemetry::with_sink(sink),
+            None => Telemetry::new(),
+        };
+        PhaseTimings { telemetry }
+    }
+
+    /// The wrapped telemetry handle, for passing to `*_observed` drivers.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Starts a named phase; timing stops when the returned guard drops.
+    pub fn phase(&self, name: &str) -> Span<'_> {
+        self.telemetry.span(name)
+    }
+
+    /// Prints the per-phase timing table on stderr and flushes the JSONL
+    /// sink (writing the final metrics snapshot) when one is configured.
+    pub fn report(&self) {
+        let Some(snapshot) = self.telemetry.snapshot() else {
+            return;
+        };
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for (name, h) in &snapshot.histograms {
+            let Some(phase) = name
+                .strip_prefix("span.")
+                .and_then(|n| n.strip_suffix(".ms"))
+            else {
+                continue;
+            };
+            rows.push(vec![
+                phase.to_owned(),
+                h.count.to_string(),
+                format!("{:.1}", h.sum),
+                format!("{:.1}", h.mean()),
+            ]);
+        }
+        if !rows.is_empty() {
+            eprintln!("# per-phase timings:");
+            for row in &rows {
+                eprintln!(
+                    "#   {:<40} calls {:>4}  total {:>10} ms  mean {:>10} ms",
+                    row[0], row[1], row[2], row[3]
+                );
+            }
+        }
+        self.telemetry.finish();
+    }
+}
+
+impl Default for PhaseTimings {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Prints one aligned data table: a header line then `rows`, each a
 /// vector of already-formatted cells.
 pub fn print_table(title: &str, columns: &[&str], rows: &[Vec<String>]) {
@@ -161,5 +260,23 @@ mod tests {
         // No --scale argument in the test harness invocation.
         let s = scale_from_args(0.33);
         assert!(s > 0.0);
+    }
+
+    #[test]
+    fn phase_timings_record_spans() {
+        let timings = PhaseTimings::new();
+        {
+            let _p = timings.phase("work");
+        }
+        let snapshot = timings
+            .telemetry()
+            .snapshot()
+            .expect("enabled telemetry has a snapshot");
+        let h = snapshot
+            .histograms
+            .get("span.work.ms")
+            .expect("span recorded");
+        assert_eq!(h.count, 1);
+        timings.report();
     }
 }

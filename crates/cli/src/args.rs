@@ -1,13 +1,16 @@
-//! Minimal flag parsing for the `autorecover` CLI — positional arguments
-//! plus `--flag value` pairs, no external dependencies.
+//! Minimal flag parsing for the `autorecover` CLI — positional arguments,
+//! `--flag value` pairs, and `-v`/`-vv` verbosity switches, no external
+//! dependencies.
 
 use std::collections::HashMap;
 
-/// Parsed command line: positionals in order, flags by name.
+/// Parsed command line: positionals in order, flags by name, and a
+/// verbosity level counted from `-v` switches.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     positional: Vec<String>,
     flags: HashMap<String, String>,
+    verbosity: u8,
 }
 
 impl Args {
@@ -28,11 +31,19 @@ impl Args {
                         .ok_or_else(|| format!("--{name} needs a value"))?;
                     args.flags.insert(name.to_owned(), v);
                 }
+            } else if a.len() > 1 && a.starts_with('-') && a[1..].bytes().all(|b| b == b'v') {
+                // -v / -vv / -vvv: stacked verbosity switches.
+                args.verbosity = args.verbosity.saturating_add((a.len() - 1) as u8);
             } else {
                 args.positional.push(a);
             }
         }
         Ok(args)
+    }
+
+    /// Verbosity level: 0 by default, +1 per `v` in `-v`-style switches.
+    pub fn verbosity(&self) -> u8 {
+        self.verbosity
     }
 
     /// The `i`-th positional argument.
@@ -92,5 +103,16 @@ mod tests {
         assert!(Args::parse(["--scale".to_string()].into_iter()).is_err());
         let a = parse(&["--scale", "abc"]);
         assert!(a.flag_or::<f64>("scale", 1.0).is_err());
+    }
+
+    #[test]
+    fn verbosity_switches_stack() {
+        assert_eq!(parse(&[]).verbosity(), 0);
+        assert_eq!(parse(&["-v"]).verbosity(), 1);
+        assert_eq!(parse(&["-vv"]).verbosity(), 2);
+        assert_eq!(parse(&["-v", "log.txt", "-v"]).verbosity(), 2);
+        // Non-verbosity single-dash tokens stay positional.
+        assert_eq!(parse(&["-x"]).positional(0), Some("-x"));
+        assert_eq!(parse(&["-"]).positional(0), Some("-"));
     }
 }

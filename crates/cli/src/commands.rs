@@ -6,7 +6,7 @@ use recovery_core::error_type::NoiseFilter;
 use recovery_core::evaluate::{evaluate as evaluate_policy, time_ordered_split};
 use recovery_core::experiment::{fig3_cohesion_curve, ExperimentContext, TestRun, TestRunConfig};
 use recovery_core::persist::{policy_from_text, policy_to_text};
-use recovery_core::pipeline::{run_continuous_loop, ContinuousLoopConfig};
+use recovery_core::pipeline::{run_continuous_loop_observed, ContinuousLoopConfig};
 use recovery_core::platform::{CostEstimation, SimulationPlatform};
 use recovery_core::policy::{HybridPolicy, LivePolicy, TrainedPolicy, UserStatePolicy};
 use recovery_core::selection_tree::{SelectionTreeConfig, SelectionTreeTrainer};
@@ -17,18 +17,24 @@ use recovery_simlog::{
 };
 
 use crate::args::Args;
+use crate::session::Session;
 
 /// `autorecover generate` — simulate and write a recovery log.
-pub fn generate(args: &Args) -> Result<(), String> {
+pub fn generate(args: &Args, session: &Session) -> Result<(), String> {
     let out = args.flag("out").ok_or("generate needs --out <file>")?;
     let scale: f64 = args.flag_or("scale", 0.05)?;
     if scale <= 0.0 {
         return Err("--scale must be positive".into());
     }
     let seed: u64 = args.flag_or("seed", 0x2007_D50Au64)?;
-    eprintln!("generating synthetic cluster log (scale {scale}, seed {seed}) ...");
+    session.info(&format!(
+        "generating synthetic cluster log (scale {scale}, seed {seed}) ..."
+    ));
     let config = GeneratorConfig::paper_scale(scale).with_seed(seed);
-    let mut generated = LogGenerator::new(config).generate();
+    let mut generated = {
+        let _span = session.telemetry.span("generate");
+        LogGenerator::new(config).generate()
+    };
     let text = generated.log.to_text();
     fs::write(out, &text).map_err(|e| format!("writing {out}: {e}"))?;
     let processes = generated.log.split_processes();
@@ -41,15 +47,18 @@ pub fn generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn load_log(args: &Args) -> Result<RecoveryLog, String> {
+fn load_log(args: &Args, session: &Session) -> Result<RecoveryLog, String> {
+    let _span = session.telemetry.span("parse_log");
     let path = args.positional(0).ok_or("expected a log file argument")?;
     let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    RecoveryLog::from_text(&text).map_err(|e| format!("parsing {path}: {e}"))
+    let log = RecoveryLog::from_text(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    session.debug(&format!("parsed {path}: {} entries", log.len()));
+    Ok(log)
 }
 
 /// `autorecover inspect` — log statistics and the type ranking.
-pub fn inspect(args: &Args) -> Result<(), String> {
-    let mut log = load_log(args)?;
+pub fn inspect(args: &Args, session: &Session) -> Result<(), String> {
+    let mut log = load_log(args, session)?;
     let top: usize = args.flag_or("top", 20usize)?;
     let audit = log.audit();
     let processes = log.split_processes();
@@ -101,12 +110,13 @@ pub fn inspect(args: &Args) -> Result<(), String> {
 }
 
 /// `autorecover mine` — m-pattern cohesion analysis and clusters.
-pub fn mine(args: &Args) -> Result<(), String> {
-    let mut log = load_log(args)?;
+pub fn mine(args: &Args, session: &Session) -> Result<(), String> {
+    let mut log = load_log(args, session)?;
     let minp: f64 = args.flag_or("minp", 0.1f64)?;
     if !(minp > 0.0 && minp <= 1.0) {
         return Err("--minp must be in (0, 1]".into());
     }
+    let _span = session.telemetry.span("mine");
     let processes = log.split_processes();
     println!("symptom cohesion (fraction of processes with one mutually dependent set):");
     for (m, f) in fig3_cohesion_curve(&processes) {
@@ -156,9 +166,9 @@ fn trainer_config(method: &str) -> Result<TrainerConfig, String> {
 }
 
 /// `autorecover train` — offline policy generation.
-pub fn train(args: &Args) -> Result<(), String> {
+pub fn train(args: &Args, session: &Session) -> Result<(), String> {
     let out = args.flag("out").ok_or("train needs --out <policy file>")?;
-    let mut log = load_log(args)?;
+    let mut log = load_log(args, session)?;
     let fraction: f64 = args.flag_or("fraction", 0.4f64)?;
     check_fraction(fraction)?;
     let minp: f64 = args.flag_or("minp", 0.1f64)?;
@@ -166,19 +176,39 @@ pub fn train(args: &Args) -> Result<(), String> {
     let method = args.flag("method").unwrap_or("standard").to_owned();
 
     let processes = log.split_processes();
-    let ctx = ExperimentContext::prepare(processes, minp, top_k);
+    let ctx = {
+        let _span = session.telemetry.span("prepare");
+        ExperimentContext::prepare(processes, minp, top_k)
+    };
     let (train_set, _) = time_ordered_split(&ctx.clean, fraction);
-    eprintln!(
+    session.info(&format!(
         "training on {} processes ({} error types, method {method}) ...",
         train_set.len(),
         ctx.types.len()
-    );
-    let trainer = OfflineTrainer::new(train_set, trainer_config(&method)?);
-    let (policy, train_stats) = if method == "tree" {
-        SelectionTreeTrainer::new(&trainer, SelectionTreeConfig::default()).train(&ctx.types)
-    } else {
-        trainer.train(&ctx.types)
+    ));
+    let config = trainer_config(&method)?;
+    session.debug(&format!("trainer config: {config}"));
+    if session.telemetry.is_enabled() {
+        session.telemetry.emit(&config.to_event());
+    }
+    let trainer = {
+        let _span = session.telemetry.span("platform_build");
+        OfflineTrainer::new(train_set, config).with_observer(session.telemetry.observer_handle())
     };
+    let (policy, train_stats) = {
+        let _span = session.telemetry.span("train");
+        if method == "tree" {
+            SelectionTreeTrainer::new(&trainer, SelectionTreeConfig::default()).train(&ctx.types)
+        } else {
+            trainer.train(&ctx.types)
+        }
+    };
+    for s in &train_stats {
+        session.debug(&format!(
+            "type rank {:?}: {} samples, {} sweeps, converged={}",
+            s.error_type, s.sample_count, s.sweeps, s.converged
+        ));
+    }
     let total_sweeps: u64 = train_stats.iter().map(|s| s.sweeps).sum();
     let converged = train_stats.iter().filter(|s| s.converged).count();
     let text = policy_to_text(&policy, log.symptoms());
@@ -193,11 +223,11 @@ pub fn train(args: &Args) -> Result<(), String> {
 }
 
 /// `autorecover evaluate` — replay a policy against the held-out log.
-pub fn evaluate(args: &Args) -> Result<(), String> {
+pub fn evaluate(args: &Args, session: &Session) -> Result<(), String> {
     let policy_path = args
         .flag("policy")
         .ok_or("evaluate needs --policy <file>")?;
-    let mut log = load_log(args)?;
+    let mut log = load_log(args, session)?;
     let fraction: f64 = args.flag_or("fraction", 0.4f64)?;
     check_fraction(fraction)?;
     let hybrid: bool = args.flag_or("hybrid", true)?;
@@ -213,10 +243,15 @@ pub fn evaluate(args: &Args) -> Result<(), String> {
     };
 
     let processes = log.split_processes();
-    let ctx = ExperimentContext::prepare(processes, minp, top_k);
+    let ctx = {
+        let _span = session.telemetry.span("prepare");
+        ExperimentContext::prepare(processes, minp, top_k)
+    };
     let (train_set, test_set) = time_ordered_split(&ctx.clean, fraction);
-    let platform = SimulationPlatform::from_processes(train_set, CostEstimation::AverageOnly);
+    let platform = SimulationPlatform::from_processes(train_set, CostEstimation::AverageOnly)
+        .with_observer(session.telemetry.observer_handle());
 
+    let _span = session.telemetry.span("evaluate");
     let report = if hybrid {
         let policy = HybridPolicy::new(trained, UserStatePolicy::default());
         evaluate_policy(&policy, &platform, test_set, &ctx.types, 20)
@@ -252,7 +287,7 @@ pub fn evaluate(args: &Args) -> Result<(), String> {
 }
 
 /// `autorecover simulate` — run a live cluster under the trained policy.
-pub fn simulate(args: &Args) -> Result<(), String> {
+pub fn simulate(args: &Args, session: &Session) -> Result<(), String> {
     let policy_path = args
         .positional(0)
         .ok_or("expected a policy file argument")?;
@@ -277,11 +312,14 @@ pub fn simulate(args: &Args) -> Result<(), String> {
     let cluster = config.cluster.clone();
 
     let live = LivePolicy::new(HybridPolicy::new(trained, UserStatePolicy::default()));
-    eprintln!(
+    session.info(&format!(
         "simulating {} machines under the trained policy ...",
         cluster.machines
-    );
-    let (mut log, _) = ClusterSim::new(&catalog, live, cluster.clone(), seed ^ 0x11).run();
+    ));
+    let (mut log, _) = {
+        let _span = session.telemetry.span("simulate_trained");
+        ClusterSim::new(&catalog, live, cluster.clone(), seed ^ 0x11).run()
+    };
     let procs = log.split_processes();
     let trained_mttr = stats::mttr(&procs);
     println!(
@@ -292,7 +330,8 @@ pub fn simulate(args: &Args) -> Result<(), String> {
     );
 
     if baseline {
-        eprintln!("simulating the same cluster under the user-defined policy ...");
+        session.info("simulating the same cluster under the user-defined policy ...");
+        let _span = session.telemetry.span("simulate_baseline");
         let (mut base_log, _) =
             ClusterSim::new(&catalog, UserDefinedPolicy::default(), cluster, seed ^ 0x11).run();
         let base = base_log.split_processes();
@@ -314,13 +353,16 @@ pub fn simulate(args: &Args) -> Result<(), String> {
 }
 
 /// `autorecover report` — the full four-split paper evaluation.
-pub fn report(args: &Args) -> Result<(), String> {
-    let mut log = load_log(args)?;
+pub fn report(args: &Args, session: &Session) -> Result<(), String> {
+    let mut log = load_log(args, session)?;
     let method = args.flag("method").unwrap_or("standard").to_owned();
     let minp: f64 = args.flag_or("minp", 0.1f64)?;
     let top_k: usize = args.flag_or("top", 40usize)?;
     let processes = log.split_processes();
-    let ctx = ExperimentContext::prepare(processes, minp, top_k);
+    let ctx = {
+        let _span = session.telemetry.span("prepare");
+        ExperimentContext::prepare(processes, minp, top_k)
+    };
     println!(
         "clean processes: {} ({} filtered as noisy); {} types selected",
         ctx.clean.len(),
@@ -338,8 +380,11 @@ pub fn report(args: &Args) -> Result<(), String> {
             ..TestRunConfig::new(fraction)
         }
         .with_trainer(trainer_config(&method)?);
-        eprintln!("training at fraction {fraction} ...");
-        let run = TestRun::execute_in_context(&config, &ctx);
+        session.info(&format!("training at fraction {fraction} ..."));
+        let run = {
+            let _span = session.telemetry.span("test_run");
+            TestRun::execute_in_context_observed(&config, &ctx, &session.telemetry)
+        };
         let trained = run.trained_report.overall_relative_cost();
         let hybrid = run.hybrid_report.overall_relative_cost();
         let sweeps: u64 = run.stats.iter().map(|s| s.sweeps).sum();
@@ -359,7 +404,7 @@ pub fn report(args: &Args) -> Result<(), String> {
 /// `autorecover loop` — the paper's Figure 1 as a running system:
 /// alternate observation windows and retraining, reporting the realized
 /// MTTR per window.
-pub fn continuous_loop(args: &Args) -> Result<(), String> {
+pub fn continuous_loop(args: &Args, session: &Session) -> Result<(), String> {
     let windows: usize = args.flag_or("windows", 4usize)?;
     let scale: f64 = args.flag_or("scale", 0.02f64)?;
     let seed: u64 = args.flag_or("seed", 0x2007_D50Au64)?;
@@ -374,11 +419,11 @@ pub fn continuous_loop(args: &Args) -> Result<(), String> {
         seed,
         ..ContinuousLoopConfig::new(generator.cluster)
     };
-    eprintln!(
+    session.info(&format!(
         "running {windows} observation windows of {} machines ...",
         config.cluster.machines
-    );
-    let outcomes = run_continuous_loop(&catalog, &config);
+    ));
+    let outcomes = run_continuous_loop_observed(&catalog, &config, &session.telemetry);
     println!(
         "{:>6}  {:>9}  {:>10}  {:>8}  {:>9}",
         "window", "processes", "mttr", "policy", "entries"

@@ -5,6 +5,7 @@
 
 mod args;
 mod commands;
+mod session;
 
 use std::process::ExitCode;
 
@@ -55,6 +56,14 @@ COMMANDS:
       windows and retraining on the accumulated log, reporting the
       realized MTTR per window.
 
+GLOBAL FLAGS (accepted by every command):
+  --metrics-out FILE    Write telemetry as JSON lines: per-stage span
+                        timings, training progress events, and a final
+                        metrics snapshot (counters/gauges/histograms).
+  --log-format FORMAT   Progress-line format on stderr: text (default)
+                        or json (one JSON object per line).
+  -v, -vv               Increase verbosity: show per-type diagnostics.
+
 Run `autorecover <command> --help` for nothing extra — commands are fully
 described above.";
 
@@ -71,21 +80,29 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let session = match session::Session::from_args(&parsed) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let result = match command.as_str() {
-        "generate" => commands::generate(&parsed),
-        "inspect" => commands::inspect(&parsed),
-        "mine" => commands::mine(&parsed),
-        "train" => commands::train(&parsed),
-        "evaluate" => commands::evaluate(&parsed),
-        "simulate" => commands::simulate(&parsed),
-        "report" => commands::report(&parsed),
-        "loop" => commands::continuous_loop(&parsed),
+        "generate" => commands::generate(&parsed, &session),
+        "inspect" => commands::inspect(&parsed, &session),
+        "mine" => commands::mine(&parsed, &session),
+        "train" => commands::train(&parsed, &session),
+        "evaluate" => commands::evaluate(&parsed, &session),
+        "simulate" => commands::simulate(&parsed, &session),
+        "report" => commands::report(&parsed, &session),
+        "loop" => commands::continuous_loop(&parsed, &session),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command {other:?}; run `autorecover help`")),
     };
+    session.finish();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -1,0 +1,131 @@
+//! Cross-command CLI session state: telemetry (from `--metrics-out`) and
+//! the progress logger (`--log-format`, `-v`).
+
+use recovery_telemetry::{Event, JsonlSink, Telemetry};
+
+use crate::args::Args;
+
+/// How progress and diagnostic lines are rendered on stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogFormat {
+    /// Plain human-readable lines (the default).
+    Text,
+    /// One JSON object per line, `{"type":"log","level":...,"msg":...}`.
+    Json,
+}
+
+/// The per-invocation session: built once from the global flags, passed
+/// to every subcommand.
+#[derive(Debug)]
+pub struct Session {
+    /// Telemetry handle; enabled only when `--metrics-out` was given.
+    pub telemetry: Telemetry,
+    format: LogFormat,
+    verbosity: u8,
+}
+
+impl Session {
+    /// Builds the session from the parsed global flags: `--metrics-out
+    /// <path>` (JSONL events + final snapshot), `--log-format text|json`,
+    /// and `-v`/`-vv` verbosity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unwritable metrics path or an unknown
+    /// log format.
+    pub fn from_args(args: &Args) -> Result<Session, String> {
+        let telemetry = match args.flag("metrics-out") {
+            Some(path) => {
+                let sink =
+                    JsonlSink::to_file(path).map_err(|e| format!("--metrics-out {path}: {e}"))?;
+                Telemetry::with_sink(sink)
+            }
+            None => Telemetry::disabled(),
+        };
+        let format = match args.flag("log-format").unwrap_or("text") {
+            "text" => LogFormat::Text,
+            "json" => LogFormat::Json,
+            other => return Err(format!("unknown --log-format {other:?} (text, json)")),
+        };
+        Ok(Session {
+            telemetry,
+            format,
+            verbosity: args.verbosity(),
+        })
+    }
+
+    /// Logs a progress line (always shown) on stderr.
+    pub fn info(&self, msg: &str) {
+        self.log("info", msg);
+    }
+
+    /// Logs a diagnostic line, shown only at `-v` or higher.
+    pub fn debug(&self, msg: &str) {
+        if self.verbosity >= 1 {
+            self.log("debug", msg);
+        }
+    }
+
+    fn log(&self, level: &str, msg: &str) {
+        match self.format {
+            LogFormat::Text => eprintln!("{msg}"),
+            LogFormat::Json => eprintln!(
+                "{}",
+                Event::new("log")
+                    .with("level", level)
+                    .with("msg", msg)
+                    .to_json()
+            ),
+        }
+    }
+
+    /// Writes the final metrics snapshot and flushes the sink. Called
+    /// once after the subcommand returns.
+    pub fn finish(&self) {
+        self.telemetry.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Args {
+        Args::parse(parts.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn defaults_are_disabled_text() {
+        let s = Session::from_args(&parse(&[])).unwrap();
+        assert!(!s.telemetry.is_enabled());
+        assert_eq!(s.format, LogFormat::Text);
+        assert_eq!(s.verbosity, 0);
+    }
+
+    #[test]
+    fn json_format_and_verbosity_parse() {
+        let s = Session::from_args(&parse(&["--log-format", "json", "-vv"])).unwrap();
+        assert_eq!(s.format, LogFormat::Json);
+        assert_eq!(s.verbosity, 2);
+    }
+
+    #[test]
+    fn unknown_format_is_rejected() {
+        assert!(Session::from_args(&parse(&["--log-format", "xml"])).is_err());
+    }
+
+    #[test]
+    fn metrics_out_enables_telemetry() {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "autorecover-session-test-{}.jsonl",
+            std::process::id()
+        ));
+        let s = Session::from_args(&parse(&["--metrics-out", path.to_str().unwrap()])).unwrap();
+        assert!(s.telemetry.is_enabled());
+        s.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"type\":\"snapshot\""), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -205,6 +205,130 @@ fn out_of_range_fraction_is_an_error_not_a_panic() {
     std::fs::remove_file(&log).ok();
 }
 
+/// A minimal structural JSON-object check for one JSONL line: braces
+/// balance outside strings, quotes pair up, and the object spans the
+/// whole line.
+fn assert_json_object(line: &str) {
+    assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    let mut depth = 0i32;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in line.chars() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '{' if !in_string => depth += 1,
+            '}' if !in_string => {
+                depth -= 1;
+                assert!(depth >= 0, "unbalanced braces: {line}");
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(depth, 0, "unbalanced braces: {line}");
+    assert!(!in_string, "unterminated string: {line}");
+}
+
+#[test]
+fn metrics_out_writes_jsonl_with_phase_spans() {
+    let log = tmp("metrics.log");
+    let policy = tmp("metrics.policy");
+    let metrics = tmp("metrics.jsonl");
+    generate_log(&log);
+
+    let out = bin()
+        .args([
+            "train",
+            log.to_str().unwrap(),
+            "--out",
+            policy.to_str().unwrap(),
+            "--top",
+            "4",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    assert!(!text.trim().is_empty(), "metrics file is empty");
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        assert_json_object(line);
+        assert!(line.contains("\"type\":\""), "{line}");
+    }
+    // Phase spans of the train pipeline were recorded.
+    for phase in ["parse_log", "prepare", "platform_build", "train"] {
+        assert!(
+            text.contains(&format!("\"name\":\"{phase}\"")),
+            "missing span {phase} in:\n{text}"
+        );
+    }
+    // The trainer config and per-type training progress were logged.
+    assert!(text.contains("\"type\":\"trainer_config\""), "{text}");
+    assert!(text.contains("\"type\":\"training_finished\""), "{text}");
+    // The final snapshot carries the sweep counters.
+    let snapshot = text
+        .lines()
+        .find(|l| l.contains("\"type\":\"snapshot\""))
+        .expect("snapshot line present");
+    assert!(snapshot.contains("train.sweeps"), "{snapshot}");
+    assert!(snapshot.contains("platform.attempts"), "{snapshot}");
+
+    std::fs::remove_file(&log).ok();
+    std::fs::remove_file(&policy).ok();
+    std::fs::remove_file(&metrics).ok();
+}
+
+#[test]
+fn log_format_json_renders_progress_as_jsonl() {
+    let log = tmp("jsonlog.log");
+    let out = bin()
+        .args([
+            "generate",
+            "--out",
+            log.to_str().unwrap(),
+            "--scale",
+            "0.01",
+            "--log-format",
+            "json",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    let mut log_lines = 0;
+    for line in stderr.lines().filter(|l| !l.trim().is_empty()) {
+        assert_json_object(line);
+        assert!(line.contains("\"type\":\"log\""), "{line}");
+        log_lines += 1;
+    }
+    assert!(
+        log_lines > 0,
+        "expected JSON progress lines, got:\n{stderr}"
+    );
+
+    let out = bin()
+        .args(["generate", "--out", "/dev/null", "--log-format", "yaml"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "unknown log format must be rejected");
+
+    std::fs::remove_file(&log).ok();
+}
+
 #[test]
 fn train_rejects_unknown_method() {
     let log = tmp("method.log");

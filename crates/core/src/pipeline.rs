@@ -18,6 +18,7 @@
 use recovery_simlog::{
     stats, ClusterConfig, ClusterSim, FaultCatalog, RecoveryProcess, SimDuration, UserDefinedPolicy,
 };
+use recovery_telemetry::{Event, Telemetry};
 
 use crate::error_type::NoiseFilter;
 use crate::policy::{HybridPolicy, LivePolicy, TrainedPolicy, UserStatePolicy};
@@ -114,6 +115,23 @@ pub fn run_continuous_loop(
     catalog: &FaultCatalog,
     config: &ContinuousLoopConfig,
 ) -> Vec<WindowOutcome> {
+    run_continuous_loop_observed(catalog, config, &Telemetry::disabled())
+}
+
+/// [`run_continuous_loop`] with telemetry: each window's simulation and
+/// retraining phases are recorded as spans, a `window` event is emitted
+/// per completed window, and retraining reports sweep-level hooks through
+/// `telemetry`'s observer. Purely observational — outcomes are identical
+/// to the unobserved run.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn run_continuous_loop_observed(
+    catalog: &FaultCatalog,
+    config: &ContinuousLoopConfig,
+    telemetry: &Telemetry,
+) -> Vec<WindowOutcome> {
     config.validate();
     let mut outcomes = Vec::with_capacity(config.windows);
     let mut accumulated: Vec<RecoveryProcess> = Vec::new();
@@ -124,43 +142,59 @@ pub fn run_continuous_loop(
             .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(window as u64);
-        let (mut log, policy_entries) = match &current {
-            None => {
-                let sim = ClusterSim::new(
-                    catalog,
-                    UserDefinedPolicy::default(),
-                    config.cluster.clone(),
-                    window_seed,
-                );
-                (sim.run().0, 0)
-            }
-            Some(policy) => {
-                let entries = policy.q().len();
-                let live = LivePolicy::new(HybridPolicy::new(
-                    policy.clone(),
-                    UserStatePolicy::default(),
-                ));
-                let sim = ClusterSim::new(catalog, live, config.cluster.clone(), window_seed);
-                (sim.run().0, entries)
+        let (mut log, policy_entries) = {
+            let _span = telemetry.span("simulate_window");
+            match &current {
+                None => {
+                    let sim = ClusterSim::new(
+                        catalog,
+                        UserDefinedPolicy::default(),
+                        config.cluster.clone(),
+                        window_seed,
+                    );
+                    (sim.run().0, 0)
+                }
+                Some(policy) => {
+                    let entries = policy.q().len();
+                    let live = LivePolicy::new(HybridPolicy::new(
+                        policy.clone(),
+                        UserStatePolicy::default(),
+                    ));
+                    let sim = ClusterSim::new(catalog, live, config.cluster.clone(), window_seed);
+                    (sim.run().0, entries)
+                }
             }
         };
         let processes = log.split_processes();
-        outcomes.push(WindowOutcome {
+        let outcome = WindowOutcome {
             window,
             processes: processes.len(),
             mttr: stats::mttr(&processes),
             learned_policy: current.is_some(),
             policy_entries,
-        });
+        };
+        if telemetry.is_enabled() {
+            telemetry.emit(
+                &Event::new("window")
+                    .with("window", outcome.window)
+                    .with("processes", outcome.processes)
+                    .with("mttr_s", outcome.mttr.as_secs_f64())
+                    .with("learned_policy", outcome.learned_policy)
+                    .with("policy_entries", outcome.policy_entries),
+            );
+        }
+        outcomes.push(outcome);
 
         // Feed the window's log back and retrain for the next window.
         accumulated.extend(processes);
         accumulated.sort_by_key(|p| (p.start(), p.machine()));
         if window + 1 < config.windows {
+            let _span = telemetry.span("retrain");
             let outcome = NoiseFilter::new(config.minp).partition(accumulated.clone());
             let ranking = crate::error_type::ErrorTypeRanking::from_processes(&outcome.clean);
             let types = ranking.top_k(config.top_k);
-            let trainer = OfflineTrainer::new(&outcome.clean, config.trainer.clone());
+            let trainer = OfflineTrainer::new(&outcome.clean, config.trainer.clone())
+                .with_observer(telemetry.observer_handle());
             let tree = SelectionTreeTrainer::new(&trainer, config.tree.clone());
             let (policy, _) = tree.train(&types);
             current = Some(policy);

@@ -23,6 +23,7 @@
 use std::collections::HashMap;
 
 use recovery_simlog::{RecoveryProcess, RepairAction};
+use recovery_telemetry::{ObserverHandle, TrainingObserver};
 
 use crate::error_type::ErrorType;
 use crate::policy::DecidePolicy;
@@ -138,6 +139,7 @@ pub struct SimulationPlatform {
     detection_by_type: HashMap<ErrorType, (f64, usize)>,
     detection_global: (f64, usize),
     estimation: CostEstimation,
+    observer: ObserverHandle,
 }
 
 impl SimulationPlatform {
@@ -170,6 +172,7 @@ impl SimulationPlatform {
             detection_by_type,
             detection_global,
             estimation,
+            observer: ObserverHandle::none(),
         }
     }
 
@@ -180,6 +183,20 @@ impl SimulationPlatform {
             estimation,
             ..self.clone()
         }
+    }
+
+    /// Attaches an observer: every replayed attempt reports its H1/H2
+    /// verdict and cost-source (actual-vs-average) through the
+    /// [`TrainingObserver::platform_replay`] hook, and every full policy
+    /// replay reports through [`TrainingObserver::replay_end`].
+    pub fn with_observer(mut self, observer: ObserverHandle) -> Self {
+        self.observer = observer;
+        self
+    }
+
+    /// The attached observer handle (detached by default).
+    pub fn observer(&self) -> &ObserverHandle {
+        &self.observer
     }
 
     /// The active cost-estimation mode.
@@ -234,13 +251,19 @@ impl SimulationPlatform {
     ) -> AttemptOutcome {
         let cured = action.at_least_as_strong_as(truth.required_action());
         let et = ErrorType::of(truth);
-        let cost = match self.estimation {
-            CostEstimation::PreferActual => truth
-                .nth_action_cost(action, cured, occurrence)
-                .map(|c| c.as_secs_f64())
-                .unwrap_or_else(|| self.average_cost(et, action, cured)),
-            CostEstimation::AverageOnly => self.average_cost(et, action, cured),
+        // `actual` doubles as the replay-cost "cache hit" signal: the
+        // charged cost came straight from the logged occurrence rather
+        // than the per-(type, action, outcome) average model.
+        let (cost, actual) = match self.estimation {
+            CostEstimation::PreferActual => {
+                match truth.nth_action_cost(action, cured, occurrence) {
+                    Some(c) => (c.as_secs_f64(), true),
+                    None => (self.average_cost(et, action, cured), false),
+                }
+            }
+            CostEstimation::AverageOnly => (self.average_cost(et, action, cured), false),
         };
+        self.observer.platform_replay(cured, actual);
         AttemptOutcome { cured, cost }
     }
 
@@ -281,13 +304,13 @@ impl SimulationPlatform {
                 match policy.decide(&state) {
                     Some(a) => a,
                     None => {
-                        return Replay {
+                        return self.finish_replay(Replay {
                             end: ReplayEnd::Unhandled {
                                 attempts: attempts.len(),
                             },
                             attempts,
                             detection_lead,
-                        }
+                        })
                     }
                 }
             };
@@ -295,14 +318,23 @@ impl SimulationPlatform {
             let outcome = self.attempt(truth, action, occurrence);
             attempts.push((action, outcome));
             if outcome.cured {
-                return Replay {
+                return self.finish_replay(Replay {
                     end: ReplayEnd::Cured,
                     attempts,
                     detection_lead,
-                };
+                });
             }
             state = state.after(action);
         }
+    }
+
+    /// Reports a completed replay to the observer and passes it through.
+    fn finish_replay(&self, replay: Replay) -> Replay {
+        if self.observer.is_attached() {
+            self.observer
+                .replay_end(replay.handled(), replay.attempts.len(), replay.total_cost());
+        }
+        replay
     }
 }
 

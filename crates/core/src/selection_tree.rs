@@ -23,6 +23,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use recovery_mdp::{QLearning, QLearningConfig, QTable, TemperatureSchedule};
 use recovery_simlog::RepairAction;
+use recovery_telemetry::TrainingObserver;
 
 use crate::error_type::ErrorType;
 use crate::exact::EmpiricalTypeModel;
@@ -136,6 +137,12 @@ impl<'t, 'a> SelectionTreeTrainer<'t, 'a> {
         if processes.is_empty() {
             return None;
         }
+        // Sweep-level hooks are reported through the owning trainer's
+        // observer; the coarse chunks below feed it too.
+        let observer = self.trainer.observer();
+        if observer.is_attached() {
+            observer.training_started(&OfflineTrainer::type_label(et), processes.len());
+        }
 
         // --- Phase 1: coarse Q-learning until candidate stability. ---
         let mut env = self.trainer.replay_env(et).expect("non-empty type");
@@ -162,7 +169,7 @@ impl<'t, 'a> SelectionTreeTrainer<'t, 'a> {
         let mut stable = 0usize;
         let mut converged = false;
         while sweeps < self.config.max_sweeps {
-            let result = driver.train_from(&mut env, &mut rng, q);
+            let result = driver.train_from_observed(&mut env, &mut rng, q, observer);
             q = result.q;
             sweeps += result.episodes;
             let snapshot = self.candidate_snapshot(et, &q);
@@ -210,6 +217,9 @@ impl<'t, 'a> SelectionTreeTrainer<'t, 'a> {
             state = state.after(action);
         }
 
+        if observer.is_attached() {
+            observer.training_finished(&OfflineTrainer::type_label(et), sweeps, converged);
+        }
         Some(SelectionTreeOutcome {
             q: out,
             stats: TypeTrainingStats {

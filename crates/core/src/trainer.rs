@@ -17,6 +17,7 @@ use recovery_mdp::{
     DoubleQLearning, Environment, QLearning, QLearningConfig, QTable, Step, TemperatureSchedule,
 };
 use recovery_simlog::{RecoveryProcess, RepairAction};
+use recovery_telemetry::{Event, ObserverHandle, TrainingObserver};
 
 use crate::error_type::{ErrorType, ErrorTypeRanking};
 use crate::platform::{CostEstimation, SimulationPlatform};
@@ -121,6 +122,57 @@ impl TrainerConfig {
         self.seed = seed;
         self
     }
+
+    /// A compact description of the temperature schedule, e.g.
+    /// `geometric(t0=300000, decay=0.99988, floor=5)`.
+    fn schedule_summary(&self) -> String {
+        match self.learning.schedule {
+            TemperatureSchedule::Geometric { t0, decay, floor } => {
+                format!("geometric(t0={t0}, decay={decay}, floor={floor})")
+            }
+            TemperatureSchedule::Harmonic { t0, floor } => {
+                format!("harmonic(t0={t0}, floor={floor})")
+            }
+            TemperatureSchedule::Constant(t) => format!("constant({t})"),
+        }
+    }
+
+    /// The configuration as a structured telemetry [`Event`] (kind
+    /// `trainer_config`), for JSONL logging without any serde dependency.
+    pub fn to_event(&self) -> Event {
+        Event::new("trainer_config")
+            .with("max_episodes", self.learning.max_episodes)
+            .with("max_attempts", self.max_attempts)
+            .with("schedule", self.schedule_summary())
+            .with("convergence_tol", self.learning.convergence_tol)
+            .with("convergence_window", self.learning.convergence_window)
+            .with("exploration_fraction", self.learning.exploration_fraction)
+            .with("backward_updates", self.learning.backward_updates)
+            .with("explored_backup", self.learning.explored_backup)
+            .with("prune_dominated", self.prune_dominated)
+            .with("seed", self.seed)
+    }
+}
+
+impl std::fmt::Display for TrainerConfig {
+    /// A compact single-line rendering for log output.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sweeps<={} attempts={} schedule={} tol={} window={} explore={} \
+             backward={} explored_backup={} prune={} seed={:#x}",
+            self.learning.max_episodes,
+            self.max_attempts,
+            self.schedule_summary(),
+            self.learning.convergence_tol,
+            self.learning.convergence_window,
+            self.learning.exploration_fraction,
+            self.learning.backward_updates,
+            self.learning.explored_backup,
+            self.prune_dominated,
+            self.seed,
+        )
+    }
 }
 
 /// Per-type training statistics (the raw data of the paper's Fig. 13).
@@ -221,6 +273,7 @@ pub struct OfflineTrainer<'a> {
     by_type: HashMap<ErrorType, Vec<&'a RecoveryProcess>>,
     ranking: ErrorTypeRanking,
     config: TrainerConfig,
+    observer: ObserverHandle,
 }
 
 impl<'a> OfflineTrainer<'a> {
@@ -239,7 +292,23 @@ impl<'a> OfflineTrainer<'a> {
             by_type,
             ranking,
             config,
+            observer: ObserverHandle::none(),
         }
+    }
+
+    /// Attaches a training observer. The observer receives sweep-level
+    /// hooks from every subsequent `train_*` call, and the trainer's
+    /// platform reports replay attempts to it too. Purely observational:
+    /// attaching an observer never changes the trained tables.
+    pub fn with_observer(mut self, observer: ObserverHandle) -> Self {
+        self.platform = self.platform.with_observer(observer.clone());
+        self.observer = observer;
+        self
+    }
+
+    /// The attached observer handle (detached by default).
+    pub fn observer(&self) -> &ObserverHandle {
+        &self.observer
     }
 
     /// The platform built from the training data.
@@ -303,12 +372,23 @@ impl<'a> OfflineTrainer<'a> {
         initial: QTable<RecoveryState, RepairAction>,
     ) -> Option<(QTable<RecoveryState, RepairAction>, TypeTrainingStats)> {
         let processes = self.by_type.get(&et)?;
+        if self.observer.is_attached() {
+            self.observer
+                .training_started(&Self::type_label(et), processes.len());
+        }
         let mut env = self.replay_env(et).expect("type has processes");
         let mut learning = self.config.learning.clone();
         learning.max_steps = self.config.max_attempts;
         let driver = QLearning::new(learning);
         let mut rng = StdRng::seed_from_u64(self.type_seed(et, 0x000_AC710));
-        let result = driver.train_from(&mut env, &mut rng, initial);
+        let result = driver.train_from_observed(&mut env, &mut rng, initial, &self.observer);
+        if self.observer.is_attached() {
+            self.observer.training_finished(
+                &Self::type_label(et),
+                result.episodes,
+                result.converged,
+            );
+        }
         let stats = TypeTrainingStats {
             error_type: et,
             sample_count: processes.len(),
@@ -328,12 +408,23 @@ impl<'a> OfflineTrainer<'a> {
         et: ErrorType,
     ) -> Option<(QTable<RecoveryState, RepairAction>, TypeTrainingStats)> {
         let processes = self.by_type.get(&et)?;
+        if self.observer.is_attached() {
+            self.observer
+                .training_started(&Self::type_label(et), processes.len());
+        }
         let mut env = self.replay_env(et).expect("type has processes");
         let mut learning = self.config.learning.clone();
         learning.max_steps = self.config.max_attempts;
         let driver = DoubleQLearning::new(learning);
         let mut rng = StdRng::seed_from_u64(self.type_seed(et, 0x00D_0B1E));
         let result = driver.train(&mut env, &mut rng);
+        if self.observer.is_attached() {
+            self.observer.training_finished(
+                &Self::type_label(et),
+                result.episodes,
+                result.converged,
+            );
+        }
         let stats = TypeTrainingStats {
             error_type: et,
             sample_count: processes.len(),
@@ -391,6 +482,11 @@ impl<'a> OfflineTrainer<'a> {
     pub fn train_all(&self) -> (TrainedPolicy, Vec<TypeTrainingStats>) {
         let types = self.ranking.top_k(self.ranking.len());
         self.train(&types)
+    }
+
+    /// The observer-facing label of an error type, e.g. `type3`.
+    pub(crate) fn type_label(et: ErrorType) -> String {
+        format!("type{}", et.symptom().index())
     }
 
     /// A deterministic per-type seed derived from the master seed.

@@ -18,6 +18,7 @@
 //! convergence is the metric of the paper's Figure 13.
 
 use rand::Rng;
+use recovery_telemetry::{NoopObserver, TrainingObserver};
 
 use crate::boltzmann::{BoltzmannSelector, TemperatureSchedule};
 use crate::env::{Environment, Step};
@@ -161,11 +162,35 @@ impl QLearning {
         &self,
         env: &mut E,
         rng: &mut R,
-        mut q: QTable<E::State, E::Action>,
+        q: QTable<E::State, E::Action>,
     ) -> TrainResult<E::State, E::Action>
     where
         E: Environment,
         R: Rng + ?Sized,
+    {
+        // The no-op observer is statically dispatched and its empty
+        // hooks inline away, so the unobserved path costs nothing.
+        self.train_from_observed(env, rng, q, &NoopObserver)
+    }
+
+    /// [`QLearning::train_from`] with telemetry: fires
+    /// [`TrainingObserver`] hooks for every sweep (temperature, episode
+    /// walk, max Q-delta, convergence window).
+    ///
+    /// Observation is passive — hooks receive scalar copies and the
+    /// observer never touches the RNG — so for equal seeds this produces
+    /// a Q-table byte-identical to the unobserved run's.
+    pub fn train_from_observed<E, R, O>(
+        &self,
+        env: &mut E,
+        rng: &mut R,
+        mut q: QTable<E::State, E::Action>,
+        observer: &O,
+    ) -> TrainResult<E::State, E::Action>
+    where
+        E: Environment,
+        R: Rng + ?Sized,
+        O: TrainingObserver + ?Sized,
     {
         let _ = self.initial;
         let mut calm_streak = 0u64;
@@ -185,6 +210,7 @@ impl QLearning {
             }
             let temperature = self.config.schedule.temperature(episodes);
             episodes += 1;
+            observer.temperature_update(episodes, temperature);
 
             // --- Walk one episode, recording the trajectory. ---
             let mut state = env.reset();
@@ -208,6 +234,12 @@ impl QLearning {
                     break;
                 }
             }
+
+            observer.episode_end(
+                episodes,
+                record.len(),
+                record.iter().map(|(_, _, cost, _)| cost).sum(),
+            );
 
             // --- Apply Eq. 6 updates along the record (paper Fig. 2);
             // backward by default so the terminal cost reaches the whole
@@ -246,15 +278,21 @@ impl QLearning {
                 max_delta = max_delta.max(q.update(s, a, target));
             }
 
+            observer.q_delta(episodes, max_delta);
+            observer.sweep_complete(episodes);
+
             // --- Convergence window. ---
             if max_delta < self.config.convergence_tol {
                 calm_streak += 1;
                 if calm_streak >= self.config.convergence_window {
                     converged = true;
-                    break;
                 }
             } else {
                 calm_streak = 0;
+            }
+            observer.convergence_check(episodes, calm_streak, converged);
+            if converged {
+                break;
             }
         }
 

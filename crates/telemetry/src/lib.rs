@@ -1,0 +1,494 @@
+//! Observability layer for the `autorecover` workspace: metrics, span
+//! timers, training-observer hooks, and JSONL export.
+//!
+//! The paper's contribution (Zhu & Yuan, DSN 2007) hinges on convergence
+//! behavior — temperature anneal, Q-delta stabilization, the selection
+//! tree's stopping rule — so this crate gives every pipeline stage a way
+//! to report what it did without changing what it computes:
+//!
+//! - [`MetricsRegistry`]: named counters, gauges, and fixed-bucket
+//!   histograms backed by atomics (lock-free on the hot path);
+//! - [`Telemetry`] + [`Span`]: RAII wall-clock timers for pipeline
+//!   stages (log parsing, m-pattern mining, platform construction,
+//!   per-type training, selection-tree scan, evaluation);
+//! - [`TrainingObserver`]: per-sweep hooks (`episode_end`,
+//!   `sweep_complete`, `temperature_update`, `q_delta`,
+//!   `convergence_check`, `platform_replay`, ...) with no-op defaults;
+//! - [`Event`] / [`JsonlSink`]: structured JSONL export of events and
+//!   final metric snapshots.
+//!
+//! Everything is std-only. Attaching telemetry never consumes random
+//! numbers or alters control flow, so a seeded run produces
+//! byte-identical policies with observation on or off.
+//!
+//! # Example
+//!
+//! ```
+//! use recovery_telemetry::{Telemetry, TrainingObserver};
+//!
+//! let telemetry = Telemetry::new();
+//! {
+//!     let _stage = telemetry.span("train");
+//!     let observer = telemetry.observer();
+//!     observer.temperature_update(1, 300_000.0);
+//!     observer.sweep_complete(1);
+//! }
+//! let snapshot = telemetry.snapshot().unwrap();
+//! assert_eq!(snapshot.counters["train.sweeps"], 1);
+//! assert_eq!(snapshot.histograms["span.train.ms"].count, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod event;
+mod metrics;
+mod observer;
+
+pub use event::{snapshot_to_json, Event, JsonlSink, Value};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    DURATION_MS_BOUNDS,
+};
+pub use observer::{NoopObserver, ObserverHandle, TrainingObserver};
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// How often the attached [`MetricsObserver`] emits a per-sweep JSONL
+/// event (counters update on every sweep regardless).
+const SWEEP_EVENT_SAMPLE: u64 = 1_000;
+
+struct Inner {
+    registry: MetricsRegistry,
+    sink: Option<JsonlSink>,
+    /// Stack of active span names for building nested `a/b/c` paths.
+    /// Spans are scoped to the pipeline's driver thread; concurrent
+    /// spans from other threads would interleave paths, so workers
+    /// should use their own `Telemetry` or plain registry handles.
+    span_stack: Mutex<Vec<String>>,
+    epoch: Instant,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("sink", &self.sink.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The shared handle tying together a [`MetricsRegistry`], an optional
+/// [`JsonlSink`], and the span stack.
+///
+/// Cloning is cheap (an `Arc` clone). The [`Telemetry::disabled`] handle
+/// holds nothing and makes every operation a no-op, so pipeline code can
+/// accept `&Telemetry` unconditionally.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Telemetry {
+    /// An enabled handle with a fresh registry and no event sink.
+    pub fn new() -> Self {
+        Self::build(None)
+    }
+
+    /// An enabled handle that also streams events to `sink`.
+    pub fn with_sink(sink: JsonlSink) -> Self {
+        Self::build(Some(sink))
+    }
+
+    /// A disabled handle: every operation is a no-op and
+    /// [`Telemetry::snapshot`] returns `None`.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    fn build(sink: Option<JsonlSink>) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                registry: MetricsRegistry::new(),
+                sink,
+                span_stack: Mutex::new(Vec::new()),
+                epoch: Instant::now(),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The underlying registry, if enabled.
+    pub fn registry(&self) -> Option<&MetricsRegistry> {
+        self.inner.as_deref().map(|inner| &inner.registry)
+    }
+
+    /// A deterministic snapshot of all metrics, if enabled.
+    pub fn snapshot(&self) -> Option<MetricsSnapshot> {
+        self.registry().map(MetricsRegistry::snapshot)
+    }
+
+    /// Emits one structured event to the sink (no-op without a sink).
+    pub fn emit(&self, event: &Event) {
+        if let Some(inner) = self.inner.as_deref() {
+            if let Some(sink) = &inner.sink {
+                sink.write(event);
+            }
+        }
+    }
+
+    /// Starts a named wall-clock span; the returned guard records its
+    /// duration (histogram `span.<path>.ms`, counter `span.<path>.calls`,
+    /// and a `span` event) when dropped. Nested spans build `a/b` paths.
+    pub fn span(&self, name: &str) -> Span<'_> {
+        let path = self.inner.as_deref().map(|inner| {
+            let mut stack = inner.span_stack.lock().expect("span stack poisoned");
+            stack.push(name.to_string());
+            stack.join("/")
+        });
+        Span {
+            telemetry: self,
+            path,
+            start: Instant::now(),
+        }
+    }
+
+    /// An observer that funnels training hooks into this handle's
+    /// registry (and sampled events into its sink). For a disabled
+    /// handle the observer is inert.
+    pub fn observer(&self) -> MetricsObserver {
+        MetricsObserver::new(self.clone())
+    }
+
+    /// An [`ObserverHandle`] wrapping [`Telemetry::observer`]; detached
+    /// when this handle is disabled, so downstream hook calls cost one
+    /// `Option` check.
+    pub fn observer_handle(&self) -> ObserverHandle {
+        if self.is_enabled() {
+            ObserverHandle::attached(Arc::new(self.observer()))
+        } else {
+            ObserverHandle::none()
+        }
+    }
+
+    /// Writes a final metrics snapshot to the sink (no-op without one)
+    /// and flushes it.
+    pub fn finish(&self) {
+        if let Some(inner) = self.inner.as_deref() {
+            if let Some(sink) = &inner.sink {
+                sink.write_line(&snapshot_to_json(&inner.registry.snapshot()));
+                sink.flush();
+            }
+        }
+    }
+
+    /// Milliseconds elapsed since this handle was created.
+    fn elapsed_ms(&self) -> f64 {
+        self.inner
+            .as_deref()
+            .map(|inner| inner.epoch.elapsed().as_secs_f64() * 1e3)
+            .unwrap_or(0.0)
+    }
+}
+
+/// An RAII wall-clock timer created by [`Telemetry::span`].
+#[derive(Debug)]
+pub struct Span<'a> {
+    telemetry: &'a Telemetry,
+    /// Full nested path, or `None` when telemetry is disabled.
+    path: Option<String>,
+    start: Instant,
+}
+
+impl Span<'_> {
+    /// The full nested path of this span (`None` when disabled).
+    pub fn path(&self) -> Option<&str> {
+        self.path.as_deref()
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some(path) = self.path.take() else {
+            return;
+        };
+        let Some(inner) = self.telemetry.inner.as_deref() else {
+            return;
+        };
+        let ms = self.start.elapsed().as_secs_f64() * 1e3;
+        inner
+            .registry
+            .histogram(&format!("span.{path}.ms"), &DURATION_MS_BOUNDS)
+            .record(ms);
+        inner.registry.counter(&format!("span.{path}.calls")).inc();
+        self.telemetry.emit(
+            &Event::new("span")
+                .with("name", path.as_str())
+                .with("ms", ms)
+                .with("at_ms", self.telemetry.elapsed_ms()),
+        );
+        let mut stack = inner.span_stack.lock().expect("span stack poisoned");
+        stack.pop();
+    }
+}
+
+/// A [`TrainingObserver`] that records every hook into a [`Telemetry`]
+/// handle's registry and emits sampled sweep events to its sink.
+#[derive(Debug)]
+pub struct MetricsObserver {
+    telemetry: Telemetry,
+    sweeps: Counter,
+    episodes: Counter,
+    episode_steps: Counter,
+    convergence_checks: Counter,
+    temperature: Gauge,
+    max_q_delta: Gauge,
+    replay_attempts: Counter,
+    replay_cured: Counter,
+    replay_failed: Counter,
+    cost_cache_hits: Counter,
+    cost_cache_misses: Counter,
+    replays: Counter,
+    replays_handled: Counter,
+    /// Name of the error type currently being trained (cold-path only).
+    scope: Mutex<String>,
+}
+
+impl MetricsObserver {
+    fn new(telemetry: Telemetry) -> Self {
+        // With a disabled handle, registry() is None and the default
+        // (unregistered, never-read) handles below are inert.
+        let registry = telemetry.registry();
+        let counter = |name: &str| registry.map(|r| r.counter(name)).unwrap_or_default();
+        let gauge = |name: &str| registry.map(|r| r.gauge(name)).unwrap_or_default();
+        MetricsObserver {
+            sweeps: counter("train.sweeps"),
+            episodes: counter("train.episodes"),
+            episode_steps: counter("train.episode_steps"),
+            convergence_checks: counter("train.convergence_checks"),
+            temperature: gauge("train.temperature"),
+            max_q_delta: gauge("train.max_q_delta"),
+            replay_attempts: counter("platform.attempts"),
+            replay_cured: counter("platform.cured"),
+            replay_failed: counter("platform.failed"),
+            cost_cache_hits: counter("platform.cost_cache.hit"),
+            cost_cache_misses: counter("platform.cost_cache.miss"),
+            replays: counter("platform.replays"),
+            replays_handled: counter("platform.replays_handled"),
+            scope: Mutex::new(String::new()),
+            telemetry,
+        }
+    }
+
+    fn registry(&self) -> Option<&MetricsRegistry> {
+        self.telemetry.registry()
+    }
+}
+
+impl TrainingObserver for MetricsObserver {
+    fn training_started(&self, error_type: &str, processes: usize) {
+        if let Ok(mut scope) = self.scope.lock() {
+            scope.clear();
+            scope.push_str(error_type);
+        }
+        if let Some(registry) = self.registry() {
+            registry.counter("train.types_started").inc();
+        }
+        self.telemetry.emit(
+            &Event::new("training_started")
+                .with("error_type", error_type)
+                .with("processes", processes)
+                .with("at_ms", self.telemetry.elapsed_ms()),
+        );
+    }
+
+    fn temperature_update(&self, sweep: u64, temperature: f64) {
+        let _ = sweep;
+        self.temperature.set(temperature);
+    }
+
+    fn episode_end(&self, sweep: u64, steps: usize, cost: f64) {
+        let _ = (sweep, cost);
+        self.episodes.inc();
+        self.episode_steps.add(steps as u64);
+    }
+
+    fn q_delta(&self, sweep: u64, max_delta: f64) {
+        let _ = sweep;
+        self.max_q_delta.set(max_delta);
+    }
+
+    fn sweep_complete(&self, sweep: u64) {
+        self.sweeps.inc();
+        if sweep.is_multiple_of(SWEEP_EVENT_SAMPLE) {
+            let scope = self.scope.lock().map(|s| s.clone()).unwrap_or_default();
+            self.telemetry.emit(
+                &Event::new("sweep")
+                    .with("error_type", scope)
+                    .with("sweep", sweep)
+                    .with("temperature", self.temperature.get())
+                    .with("max_q_delta", self.max_q_delta.get())
+                    .with("at_ms", self.telemetry.elapsed_ms()),
+            );
+        }
+    }
+
+    fn convergence_check(&self, sweep: u64, calm_sweeps: u64, converged: bool) {
+        let _ = sweep;
+        self.convergence_checks.inc();
+        if converged {
+            if let Some(registry) = self.registry() {
+                registry
+                    .gauge("train.last_calm_sweeps")
+                    .set(calm_sweeps as f64);
+            }
+        }
+    }
+
+    fn training_finished(&self, error_type: &str, sweeps: u64, converged: bool) {
+        if let Some(registry) = self.registry() {
+            registry
+                .counter(&format!("train.sweeps.{error_type}"))
+                .add(sweeps);
+            if converged {
+                registry.counter("train.types_converged").inc();
+                registry
+                    .counter(&format!("train.convergence_sweeps.{error_type}"))
+                    .add(sweeps);
+            }
+        }
+        self.telemetry.emit(
+            &Event::new("training_finished")
+                .with("error_type", error_type)
+                .with("sweeps", sweeps)
+                .with("converged", converged)
+                .with("at_ms", self.telemetry.elapsed_ms()),
+        );
+    }
+
+    fn platform_replay(&self, cured: bool, actual_cost: bool) {
+        self.replay_attempts.inc();
+        if cured {
+            self.replay_cured.inc();
+        } else {
+            self.replay_failed.inc();
+        }
+        if actual_cost {
+            self.cost_cache_hits.inc();
+        } else {
+            self.cost_cache_misses.inc();
+        }
+    }
+
+    fn replay_end(&self, handled: bool, attempts: usize, total_cost: f64) {
+        let _ = (attempts, total_cost);
+        self.replays.inc();
+        if handled {
+            self.replays_handled.inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_telemetry_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        assert!(t.snapshot().is_none());
+        {
+            let span = t.span("anything");
+            assert!(span.path().is_none());
+        }
+        let obs = t.observer();
+        obs.sweep_complete(1);
+        obs.platform_replay(true, false);
+        assert!(t.snapshot().is_none());
+    }
+
+    #[test]
+    fn spans_nest_into_slash_paths() {
+        let t = Telemetry::new();
+        {
+            let outer = t.span("pipeline");
+            assert_eq!(outer.path(), Some("pipeline"));
+            {
+                let inner = t.span("train");
+                assert_eq!(inner.path(), Some("pipeline/train"));
+            }
+            // Sibling after the nested span closed: depth is restored.
+            let sibling = t.span("evaluate");
+            assert_eq!(sibling.path(), Some("pipeline/evaluate"));
+        }
+        let after = t.span("next");
+        assert_eq!(after.path(), Some("next"));
+        drop(after);
+        let snap = t.snapshot().expect("enabled");
+        assert_eq!(snap.counters["span.pipeline/train.calls"], 1);
+        assert_eq!(snap.histograms["span.pipeline.ms"].count, 1);
+    }
+
+    #[test]
+    fn observer_hooks_land_in_the_registry() {
+        let t = Telemetry::new();
+        let obs = t.observer();
+        obs.training_started("type3", 25);
+        for sweep in 1..=5u64 {
+            obs.temperature_update(sweep, 300_000.0 / sweep as f64);
+            obs.episode_end(sweep, 3, 120.0);
+            obs.q_delta(sweep, 10.0 / sweep as f64);
+            obs.sweep_complete(sweep);
+            obs.convergence_check(sweep, sweep, false);
+        }
+        obs.training_finished("type3", 5, true);
+        obs.platform_replay(true, true);
+        obs.platform_replay(false, false);
+        obs.replay_end(true, 2, 99.0);
+        let snap = t.snapshot().expect("enabled");
+        assert_eq!(snap.counters["train.sweeps"], 5);
+        assert_eq!(snap.counters["train.episodes"], 5);
+        assert_eq!(snap.counters["train.episode_steps"], 15);
+        assert_eq!(snap.counters["train.sweeps.type3"], 5);
+        assert_eq!(snap.counters["train.types_converged"], 1);
+        assert_eq!(snap.counters["platform.cost_cache.hit"], 1);
+        assert_eq!(snap.counters["platform.cost_cache.miss"], 1);
+        assert_eq!(snap.counters["platform.cured"], 1);
+        assert_eq!(snap.counters["platform.failed"], 1);
+        assert_eq!(snap.gauges["train.temperature"], 60_000.0);
+    }
+
+    #[test]
+    fn events_stream_to_the_sink_as_jsonl() {
+        use std::sync::OnceLock;
+        static BUF: OnceLock<Arc<Mutex<Vec<u8>>>> = OnceLock::new();
+        let buf = BUF.get_or_init(|| Arc::new(Mutex::new(Vec::new()))).clone();
+
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for SharedBuf {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let t = Telemetry::with_sink(JsonlSink::from_writer(Box::new(SharedBuf(buf.clone()))));
+        drop(t.span("stage"));
+        t.finish();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "span event + snapshot: {text}");
+        assert!(lines[0].starts_with("{\"type\":\"span\",\"name\":\"stage\""));
+        assert!(lines[1].starts_with("{\"type\":\"snapshot\""));
+        assert!(lines[1].contains("\"span.stage.calls\":1"));
+    }
+}

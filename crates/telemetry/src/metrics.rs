@@ -1,0 +1,302 @@
+//! The [`MetricsRegistry`]: named counters, gauges, and fixed-bucket
+//! histograms backed by atomics.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`
+//! clones; fetch them once outside a hot loop and update them lock-free
+//! inside it. The registry itself takes a lock only on registration and
+//! snapshot.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing `u64` metric.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins `f64` metric (stored as atomic bits).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+}
+
+impl Gauge {
+    /// Overwrites the gauge value.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram of `f64` observations.
+///
+/// `bounds` are the inclusive upper edges of the first `bounds.len()`
+/// buckets; one overflow bucket catches everything above the last bound.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+/// Default bucket upper bounds for millisecond durations: exponential
+/// from a quarter millisecond to about a minute.
+pub const DURATION_MS_BOUNDS: [f64; 10] = [
+    0.25, 1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0,
+];
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            core: Arc::new(HistogramCore {
+                bounds: bounds.to_vec(),
+                buckets,
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: f64) {
+        let core = &*self.core;
+        let i = core
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(core.bounds.len());
+        core.buckets[i].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        // CAS loop to accumulate an f64 sum in atomic bits.
+        let mut current = core.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + value).to_bits();
+            match core.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let core = &*self.core;
+        HistogramSnapshot {
+            bounds: core.bounds.clone(),
+            buckets: core
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: core.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(core.sum_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds of the first `bounds.len()` buckets.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the observations, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of every metric in a registry, with
+/// deterministically (lexicographically) ordered names.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// A named collection of counters, gauges, and histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (registering on first use) the counter called `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().expect("counter registry poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns (registering on first use) the gauge called `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().expect("gauge registry poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns (registering on first use) the histogram called `name`
+    /// with the given bucket bounds. Bounds are fixed at registration;
+    /// later calls reuse the first registration's bounds.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        let mut map = self.histograms.lock().expect("histogram registry poisoned");
+        map.entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .clone()
+    }
+
+    /// Takes a deterministic point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("gauge registry poisoned")
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("a.count");
+        c.inc();
+        c.add(4);
+        registry.gauge("a.level").set(2.5);
+        // Handles alias the same cell.
+        assert_eq!(registry.counter("a.count").get(), 5);
+        assert_eq!(registry.gauge("a.level").get(), 2.5);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper_edges() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("lat", &[1.0, 10.0, 100.0]);
+        for v in [0.5, 1.0, 1.0001, 10.0, 99.9, 100.0, 100.1, 1e9] {
+            h.record(v);
+        }
+        let snap = registry.snapshot().histograms["lat"].clone();
+        // <=1: {0.5, 1.0}; <=10: {1.0001, 10.0}; <=100: {99.9, 100.0};
+        // overflow: {100.1, 1e9}.
+        assert_eq!(snap.buckets, vec![2, 2, 2, 2]);
+        assert_eq!(snap.count, 8);
+        assert!((snap.sum - 1_000_000_312.500_1).abs() < 1e-3);
+    }
+
+    #[test]
+    fn snapshots_are_deterministically_ordered_and_repeatable() {
+        let registry = MetricsRegistry::new();
+        // Register in non-lexicographic order.
+        registry.counter("zeta").add(1);
+        registry.counter("alpha").add(2);
+        registry.gauge("mid").set(3.0);
+        let a = registry.snapshot();
+        let b = registry.snapshot();
+        assert_eq!(a, b);
+        let names: Vec<&String> = a.counters.keys().collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_are_rejected() {
+        MetricsRegistry::new().histogram("bad", &[5.0, 1.0]);
+    }
+}

@@ -1,0 +1,185 @@
+//! The [`TrainingObserver`] trait: hook points the training and replay
+//! pipeline calls into.
+//!
+//! Every hook has a no-op default body, takes `&self` (implementations
+//! use interior atomics), and passes only scalars — so an unattached
+//! observer (the [`NoopObserver`], statically dispatched) compiles away
+//! entirely and an attached one never allocates on the per-sweep path.
+
+/// Hook points fired by Q-learning sweeps, convergence checks, and
+/// platform replay.
+///
+/// Implementations must be cheap and must not panic: hooks run inside
+/// the training hot loop. All hooks are observational only — they
+/// receive copies of scalar state and cannot influence training (in
+/// particular they never touch the RNG, so attaching an observer cannot
+/// change a seeded run's output).
+pub trait TrainingObserver: Send + Sync {
+    /// Training for one error type is starting over `processes` training
+    /// processes.
+    fn training_started(&self, error_type: &str, processes: usize) {
+        let _ = (error_type, processes);
+    }
+
+    /// The Boltzmann temperature used for sweep `sweep`.
+    fn temperature_update(&self, sweep: u64, temperature: f64) {
+        let _ = (sweep, temperature);
+    }
+
+    /// One episode (trajectory walk) finished: `steps` actions taken,
+    /// `cost` total downtime accumulated.
+    fn episode_end(&self, sweep: u64, steps: usize, cost: f64) {
+        let _ = (sweep, steps, cost);
+    }
+
+    /// The largest absolute Q-value change applied during sweep `sweep`.
+    fn q_delta(&self, sweep: u64, max_delta: f64) {
+        let _ = (sweep, max_delta);
+    }
+
+    /// All updates for sweep `sweep` have been applied.
+    fn sweep_complete(&self, sweep: u64) {
+        let _ = sweep;
+    }
+
+    /// A convergence-window check ran: the Q table has been calm for
+    /// `calm_sweeps` consecutive sweeps; `converged` is the verdict.
+    fn convergence_check(&self, sweep: u64, calm_sweeps: u64, converged: bool) {
+        let _ = (sweep, calm_sweeps, converged);
+    }
+
+    /// Training for one error type finished after `sweeps` sweeps.
+    fn training_finished(&self, error_type: &str, sweeps: u64, converged: bool) {
+        let _ = (error_type, sweeps, converged);
+    }
+
+    /// One simulated repair attempt was replayed. `cured` is the H1/H2
+    /// verdict; `actual_cost` tells whether the cost came from the
+    /// logged occurrence (cache hit) or fell back to the per-type
+    /// average (cache miss).
+    fn platform_replay(&self, cured: bool, actual_cost: bool) {
+        let _ = (cured, actual_cost);
+    }
+
+    /// A full policy replay of one process ended: `handled` within the
+    /// attempt cap, taking `attempts` attempts and `total_cost` downtime.
+    fn replay_end(&self, handled: bool, attempts: usize, total_cost: f64) {
+        let _ = (handled, attempts, total_cost);
+    }
+}
+
+/// The do-nothing observer; used (statically dispatched) whenever no
+/// observer is attached.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl TrainingObserver for NoopObserver {}
+
+/// A cheap, cloneable, optionally-attached observer handle.
+///
+/// Pipeline structs store one of these instead of a generic parameter;
+/// it implements [`TrainingObserver`] itself by forwarding every hook to
+/// the attached observer (or doing nothing when detached), so call sites
+/// fire hooks unconditionally.
+#[derive(Clone, Default)]
+pub struct ObserverHandle(Option<std::sync::Arc<dyn TrainingObserver>>);
+
+impl std::fmt::Debug for ObserverHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ObserverHandle")
+            .field(&if self.0.is_some() { "attached" } else { "none" })
+            .finish()
+    }
+}
+
+impl ObserverHandle {
+    /// A handle forwarding to `observer`.
+    pub fn attached(observer: std::sync::Arc<dyn TrainingObserver>) -> Self {
+        ObserverHandle(Some(observer))
+    }
+
+    /// A detached handle; every hook is a no-op.
+    pub fn none() -> Self {
+        ObserverHandle(None)
+    }
+
+    /// Whether an observer is attached.
+    pub fn is_attached(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+impl TrainingObserver for ObserverHandle {
+    fn training_started(&self, error_type: &str, processes: usize) {
+        if let Some(observer) = &self.0 {
+            observer.training_started(error_type, processes);
+        }
+    }
+
+    fn temperature_update(&self, sweep: u64, temperature: f64) {
+        if let Some(observer) = &self.0 {
+            observer.temperature_update(sweep, temperature);
+        }
+    }
+
+    fn episode_end(&self, sweep: u64, steps: usize, cost: f64) {
+        if let Some(observer) = &self.0 {
+            observer.episode_end(sweep, steps, cost);
+        }
+    }
+
+    fn q_delta(&self, sweep: u64, max_delta: f64) {
+        if let Some(observer) = &self.0 {
+            observer.q_delta(sweep, max_delta);
+        }
+    }
+
+    fn sweep_complete(&self, sweep: u64) {
+        if let Some(observer) = &self.0 {
+            observer.sweep_complete(sweep);
+        }
+    }
+
+    fn convergence_check(&self, sweep: u64, calm_sweeps: u64, converged: bool) {
+        if let Some(observer) = &self.0 {
+            observer.convergence_check(sweep, calm_sweeps, converged);
+        }
+    }
+
+    fn training_finished(&self, error_type: &str, sweeps: u64, converged: bool) {
+        if let Some(observer) = &self.0 {
+            observer.training_finished(error_type, sweeps, converged);
+        }
+    }
+
+    fn platform_replay(&self, cured: bool, actual_cost: bool) {
+        if let Some(observer) = &self.0 {
+            observer.platform_replay(cured, actual_cost);
+        }
+    }
+
+    fn replay_end(&self, handled: bool, attempts: usize, total_cost: f64) {
+        if let Some(observer) = &self.0 {
+            observer.replay_end(handled, attempts, total_cost);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_hooks_are_callable_noops() {
+        let obs = NoopObserver;
+        obs.training_started("type0", 10);
+        obs.temperature_update(1, 300_000.0);
+        obs.episode_end(1, 3, 42.0);
+        obs.q_delta(1, 0.5);
+        obs.sweep_complete(1);
+        obs.convergence_check(1, 5, false);
+        obs.training_finished("type0", 1, false);
+        obs.platform_replay(true, true);
+        obs.replay_end(true, 2, 99.0);
+    }
+}

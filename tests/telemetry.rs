@@ -1,0 +1,147 @@
+//! Integration tests of the observability layer: a full observed
+//! experiment records training and replay metrics, observation never
+//! changes trained policies, and the sweep-level hooks report what the
+//! paper's training loop actually does.
+
+use std::sync::{Arc, Mutex};
+
+use recovery_core::experiment::{ExperimentContext, TestRun, TestRunConfig};
+use recovery_core::persist::policy_to_text;
+use recovery_core::selection_tree::{SelectionTreeConfig, SelectionTreeTrainer};
+use recovery_core::trainer::{OfflineTrainer, TrainerConfig};
+use recovery_simlog::{GeneratorConfig, LogGenerator};
+use recovery_telemetry::{ObserverHandle, Telemetry, TrainingObserver};
+
+fn small_context() -> ExperimentContext {
+    let mut generated = LogGenerator::new(GeneratorConfig::small()).generate();
+    ExperimentContext::prepare(generated.log.split_processes(), 0.1, 6)
+}
+
+fn small_config() -> TestRunConfig {
+    let mut trainer = TrainerConfig::fast();
+    trainer.learning.max_episodes = 2_000;
+    TestRunConfig {
+        top_k: 6,
+        ..TestRunConfig::new(0.4)
+    }
+    .with_trainer(trainer)
+}
+
+#[test]
+fn observed_test_run_records_training_and_replay_metrics() {
+    let ctx = small_context();
+    let telemetry = Telemetry::new();
+    let run = TestRun::execute_in_context_observed(&small_config(), &ctx, &telemetry);
+    assert!(run.train_count > 0 && run.test_count > 0);
+
+    let snapshot = telemetry.snapshot().expect("telemetry is enabled");
+    let counter = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+    // Sweep-level training activity was recorded.
+    assert!(counter("train.sweeps") > 0, "no sweeps recorded");
+    assert!(counter("train.episodes") > 0, "no episodes recorded");
+    assert_eq!(counter("train.sweeps"), counter("train.episodes"));
+    assert!(counter("train.types_started") as usize >= run.stats.len());
+    // Per-error-type sweep counters match the run's own statistics.
+    for s in &run.stats {
+        let name = format!("train.sweeps.type{}", s.error_type.symptom().index());
+        assert_eq!(
+            counter(&name),
+            s.sweeps,
+            "per-type counter {name} disagrees with TypeTrainingStats"
+        );
+    }
+    // Platform replay activity (cost-cache hits during training, misses
+    // during average-only evaluation) was recorded.
+    assert!(counter("platform.attempts") > 0);
+    assert_eq!(
+        counter("platform.attempts"),
+        counter("platform.cured") + counter("platform.failed")
+    );
+    assert_eq!(
+        counter("platform.attempts"),
+        counter("platform.cost_cache.hit") + counter("platform.cost_cache.miss")
+    );
+    assert!(
+        counter("platform.replays") > 0,
+        "evaluation replays missing"
+    );
+    // Stage spans were timed.
+    for span in ["span.train.ms", "span.evaluate.ms"] {
+        let h = snapshot.histograms.get(span).unwrap_or_else(|| {
+            panic!(
+                "missing span histogram {span}; have {:?}",
+                snapshot.histograms.keys().collect::<Vec<_>>()
+            )
+        });
+        assert!(h.count > 0, "{span} never recorded");
+    }
+}
+
+#[test]
+fn observation_does_not_change_trained_policies() {
+    let ctx = small_context();
+    let (train, _) = recovery_core::evaluate::time_ordered_split(&ctx.clean, 0.4);
+    let symptoms = {
+        let generated = LogGenerator::new(GeneratorConfig::small()).generate();
+        generated.log.symptoms().clone()
+    };
+
+    let train_policy = |telemetry: &Telemetry| {
+        let trainer = OfflineTrainer::new(train, TrainerConfig::fast())
+            .with_observer(telemetry.observer_handle());
+        let tree = SelectionTreeTrainer::new(&trainer, SelectionTreeConfig::default());
+        let (policy, stats) = tree.train(&ctx.types);
+        (policy_to_text(&policy, &symptoms), stats)
+    };
+    let (unobserved, stats_a) = train_policy(&Telemetry::disabled());
+    let (observed, stats_b) = train_policy(&Telemetry::new());
+    assert_eq!(
+        unobserved, observed,
+        "attaching an observer changed the trained policy bytes"
+    );
+    assert_eq!(stats_a.len(), stats_b.len());
+    for (a, b) in stats_a.iter().zip(&stats_b) {
+        assert_eq!(a.sweeps, b.sweeps);
+        assert_eq!(a.converged, b.converged);
+    }
+}
+
+/// Captures every `temperature_update` and `sweep_complete` hook.
+#[derive(Default)]
+struct CapturingObserver {
+    temperatures: Mutex<Vec<f64>>,
+    sweeps: Mutex<u64>,
+}
+
+impl TrainingObserver for CapturingObserver {
+    fn temperature_update(&self, _sweep: u64, temperature: f64) {
+        self.temperatures.lock().unwrap().push(temperature);
+    }
+
+    fn sweep_complete(&self, _sweep: u64) {
+        *self.sweeps.lock().unwrap() += 1;
+    }
+}
+
+#[test]
+fn temperature_anneals_monotonically_and_sweeps_match() {
+    let ctx = small_context();
+    let (train, _) = recovery_core::evaluate::time_ordered_split(&ctx.clean, 0.4);
+    let capture = Arc::new(CapturingObserver::default());
+    let trainer = OfflineTrainer::new(train, TrainerConfig::fast())
+        .with_observer(ObserverHandle::attached(capture.clone()));
+    let et = ctx.types[0];
+    let (_, stats) = trainer.train_type(et).expect("top type has data");
+
+    let temps = capture.temperatures.lock().unwrap();
+    assert_eq!(
+        temps.len() as u64,
+        stats.sweeps,
+        "one temperature per sweep"
+    );
+    assert!(
+        temps.windows(2).all(|w| w[1] <= w[0]),
+        "the annealed temperature must be non-increasing"
+    );
+    assert_eq!(*capture.sweeps.lock().unwrap(), stats.sweeps);
+}

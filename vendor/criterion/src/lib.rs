@@ -1,0 +1,225 @@
+//! Offline, std-only stand-in for the crates.io `criterion` crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be downloaded; this vendored crate supplies the subset of the
+//! 0.5 API the workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`BatchSize`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement is deliberately simple: a short wall-clock sampling loop
+//! with mean/min/max reporting on stdout. Like upstream, running a bench
+//! binary *without* `--bench` (as `cargo test` does) executes each
+//! routine exactly once as a smoke test instead of sampling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per benchmark in sampling mode.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(300);
+
+/// How a batched iteration's input size relates to the sampling batch;
+/// accepted for API compatibility, ignored by the stand-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Times a single benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    sampling: bool,
+    max_samples: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(sampling: bool, max_samples: usize) -> Self {
+        Bencher {
+            sampling,
+            max_samples,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::SmallInput);
+    }
+
+    /// Times `routine` over inputs produced by `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + SAMPLE_BUDGET;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            let output = routine(input);
+            let elapsed = start.elapsed();
+            std::hint::black_box(output);
+            self.samples.push(elapsed);
+            if !self.sampling
+                || self.samples.len() >= self.max_samples
+                || Instant::now() >= deadline
+            {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<40} no samples (routine never called the bencher)");
+            return;
+        }
+        if !self.sampling {
+            println!("{id:<40} ok (test mode, 1 iteration)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().expect("nonempty");
+        let max = self.samples.iter().max().expect("nonempty");
+        println!(
+            "{id:<40} mean {mean:>12?}  min {min:>12?}  max {max:>12?}  ({} samples)",
+            self.samples.len()
+        );
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sampling: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Mirror upstream behavior: `cargo bench` passes `--bench`, which
+        // selects sampling mode; `cargo test` runs the binary without it
+        // and each routine executes once as a smoke test.
+        let sampling = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            sampling,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.sampling, self.sample_size);
+        f(&mut bencher);
+        bencher.report(id);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("== bench group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut bencher = Bencher::new(self.criterion.sampling, samples);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{id}", self.name));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Bundles benchmark functions into one group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits a `main` that runs the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_routine() {
+        let mut c = Criterion {
+            sampling: false,
+            sample_size: 5,
+        };
+        let mut runs = 0;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1, "test mode runs exactly one iteration");
+    }
+
+    #[test]
+    fn sampling_mode_collects_multiple_samples() {
+        let mut c = Criterion {
+            sampling: true,
+            sample_size: 7,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(7);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| {
+            b.iter_batched(|| 2u64, |x| x * x, BatchSize::LargeInput);
+            runs += 1;
+        });
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+}

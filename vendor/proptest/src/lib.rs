@@ -1,0 +1,220 @@
+//! Offline, std-only stand-in for the crates.io `proptest` crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be downloaded; this vendored crate supplies the subset of the
+//! 1.x API the workspace's property tests use:
+//!
+//! - the [`Strategy`] trait with `prop_map`, `prop_flat_map`, and
+//!   [`Strategy::boxed`];
+//! - [`Just`], numeric range strategies, tuple and `Vec` strategies,
+//!   [`collection::vec`], and regex-literal string strategies
+//!   (`"\\PC*"`-style patterns);
+//! - the [`proptest!`], [`prop_oneof!`], [`prop_assert!`], and
+//!   [`prop_assert_eq!`] macros plus [`ProptestConfig`].
+//!
+//! Semantics differ from upstream in two deliberate ways: case seeds are
+//! a deterministic function of the test name and case index (fully
+//! reproducible runs, no `PROPTEST_*` environment handling), and there is
+//! **no shrinking** — a failing case reports its inputs via the assertion
+//! message only.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+/// The random source handed to strategies while generating one case.
+pub type TestRng = StdRng;
+
+/// A failed property within a [`proptest!`] body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The result type of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runtime configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to generate and check.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration checking `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// FNV-1a, used to derive per-test base seeds from the test name.
+fn fnv1a(text: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Drives one property: generates `config.cases` inputs and panics with
+/// the case number and failure message on the first failing case.
+///
+/// This is the runtime behind the [`proptest!`] macro; tests normally do
+/// not call it directly.
+pub fn run_cases<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let base = fnv1a(name);
+    for i in 0..config.cases {
+        let seed = base ^ u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::seed_from_u64(seed);
+        if let Err(err) = case(&mut rng) {
+            panic!("proptest '{name}': case {i}/{} failed: {err}", config.cases);
+        }
+    }
+}
+
+/// Draws a length uniformly from a size specification (used by
+/// [`collection::vec`] and quantifier expansion).
+pub(crate) fn draw_len(rng: &mut TestRng, min: usize, max_exclusive: usize) -> usize {
+    if min >= max_exclusive {
+        min
+    } else {
+        rng.gen_range(min..max_exclusive)
+    }
+}
+
+/// Commonly imported items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Defines property tests.
+///
+/// Supports the common form used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u32..10, v in proptest::collection::vec(0u64..5, 1..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_cases(config, stringify!($name), |__proptest_rng| {
+                    $(let $pat = $crate::Strategy::generate(&($strategy), __proptest_rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($pat in $strategy),+) $body)*
+        }
+    };
+}
+
+/// Picks uniformly between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $($crate::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (rather than panicking directly) when it does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}

@@ -1,0 +1,265 @@
+//! Generation of strings matching a small regex subset.
+//!
+//! Upstream proptest interprets `&str` strategies as full regexes; this
+//! stand-in supports the subset the workspace's tests use:
+//!
+//! - literal characters;
+//! - character classes `[...]` with literals and `a-z` ranges;
+//! - `\PC` (any non-control character), `\d`, and escaped literals;
+//! - postfix quantifiers `?`, `*`, `+`, `{n}`, `{n,}`, and `{n,m}`.
+//!
+//! Unbounded quantifiers (`*`, `+`, `{n,}`) are capped at 16 repetitions
+//! per atom. Patterns outside the subset panic with a clear message so a
+//! new test knows immediately that the stand-in needs extending.
+
+use rand::Rng;
+
+use crate::TestRng;
+
+/// Cap on repetitions for `*`, `+`, and open-ended `{n,}`.
+const UNBOUNDED_CAP: u32 = 16;
+
+/// One generatable atom: a set of char ranges plus a repetition count.
+#[derive(Debug, Clone)]
+struct Piece {
+    /// Inclusive character ranges; a literal is a single one-char range.
+    ranges: Vec<(char, char)>,
+    min: u32,
+    max: u32,
+}
+
+/// Returns a string matching `pattern` (see module docs for the
+/// supported subset).
+///
+/// # Panics
+///
+/// Panics on syntax outside the supported subset.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let reps = if piece.min == piece.max {
+            piece.min
+        } else {
+            rng.gen_range(piece.min..=piece.max)
+        };
+        for _ in 0..reps {
+            out.push(sample_char(&piece.ranges, rng));
+        }
+    }
+    out
+}
+
+fn sample_char(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    // Weight ranges by their width so wide classes stay uniform.
+    let total: u32 = ranges
+        .iter()
+        .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+        .sum();
+    let mut pick = rng.gen_range(0..total);
+    for &(lo, hi) in ranges {
+        let width = hi as u32 - lo as u32 + 1;
+        if pick < width {
+            // Skip the surrogate gap if a range happens to span it.
+            return char::from_u32(lo as u32 + pick).unwrap_or(lo);
+        }
+        pick -= width;
+    }
+    unreachable!("pick exceeded total range width")
+}
+
+/// Non-control characters for `\PC`: printable ASCII plus a sprinkle of
+/// multi-byte code points to exercise UTF-8 handling in parsers.
+fn non_control_ranges() -> Vec<(char, char)> {
+    vec![(' ', '~'), ('\u{A1}', '\u{FF}'), ('Α', 'Ω'), ('一', '十')]
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let ranges = match chars[i] {
+            '\\' => {
+                i += 1;
+                let escaped = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                match escaped {
+                    'P' => {
+                        let class = *chars.get(i).unwrap_or_else(|| {
+                            panic!("\\P needs a category letter in pattern {pattern:?}")
+                        });
+                        i += 1;
+                        match class {
+                            'C' => non_control_ranges(),
+                            other => panic!(
+                                "unsupported \\P{other} class in pattern {pattern:?} \
+                                 (vendored proptest stand-in supports \\PC only)"
+                            ),
+                        }
+                    }
+                    'd' => vec![('0', '9')],
+                    'n' => vec![('\n', '\n')],
+                    'r' => vec![('\r', '\r')],
+                    't' => vec![('\t', '\t')],
+                    other => vec![(other, other)],
+                }
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    i += 1;
+                    if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                        let hi = chars[i + 1];
+                        assert!(
+                            lo <= hi,
+                            "inverted class range {lo}-{hi} in pattern {pattern:?}"
+                        );
+                        ranges.push((lo, hi));
+                        i += 2;
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in pattern {pattern:?}"
+                );
+                i += 1; // consume ']'
+                assert!(!ranges.is_empty(), "empty character class in {pattern:?}");
+                ranges
+            }
+            literal => {
+                i += 1;
+                vec![(literal, literal)]
+            }
+        };
+
+        let (min, max) = match chars.get(i) {
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                i += 1;
+                (1, UNBOUNDED_CAP)
+            }
+            Some('{') => {
+                i += 1;
+                let start = i;
+                while i < chars.len() && chars[i] != '}' {
+                    i += 1;
+                }
+                assert!(i < chars.len(), "unterminated {{}} in pattern {pattern:?}");
+                let body: String = chars[start..i].iter().collect();
+                i += 1; // consume '}'
+                parse_counts(&body, pattern)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { ranges, min, max });
+    }
+    pieces
+}
+
+fn parse_counts(body: &str, pattern: &str) -> (u32, u32) {
+    let bad = || panic!("unsupported quantifier {{{body}}} in pattern {pattern:?}");
+    match body.split_once(',') {
+        None => {
+            let n = body.parse::<u32>().unwrap_or_else(|_| bad());
+            (n, n)
+        }
+        Some((lo, "")) => {
+            let n = lo.parse::<u32>().unwrap_or_else(|_| bad());
+            (n, n.max(UNBOUNDED_CAP))
+        }
+        Some((lo, hi)) => {
+            let lo = lo.parse::<u32>().unwrap_or_else(|_| bad());
+            let hi = hi.parse::<u32>().unwrap_or_else(|_| bad());
+            assert!(lo <= hi, "inverted quantifier {{{body}}} in {pattern:?}");
+            (lo, hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn timestamp_pattern_has_fixed_shape() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate_matching(
+                "[0-9]{4}-[0-9]{2}-[0-9]{2} [0-9]{2}:[0-9]{2}:[0-9]{2}",
+                &mut r,
+            );
+            assert_eq!(s.len(), 19);
+            assert_eq!(&s[4..5], "-");
+            assert_eq!(&s[10..11], " ");
+            assert!(s[0..4].chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn optional_prefix_and_bounded_class() {
+        let mut r = rng();
+        let mut saw_m = false;
+        let mut saw_bare = false;
+        for _ in 0..200 {
+            let s = generate_matching("M?[0-9a-z]{0,6}", &mut r);
+            assert!(s.len() <= 7);
+            let rest = match s.strip_prefix('M') {
+                Some(rest) => {
+                    saw_m = true;
+                    rest
+                }
+                None => {
+                    saw_bare = true;
+                    s.as_str()
+                }
+            };
+            assert!(rest
+                .chars()
+                .all(|c| c.is_ascii_digit() || c.is_ascii_lowercase()));
+        }
+        assert!(saw_m && saw_bare);
+    }
+
+    #[test]
+    fn non_control_star_never_emits_control_chars() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("\\PC*", &mut r);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_ascii_range_class() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_matching("[ -~]{0,20}", &mut r);
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+}
