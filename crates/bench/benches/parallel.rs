@@ -1,0 +1,154 @@
+//! Sequential vs parallel `train_all` on a 32-type synthetic catalog.
+//!
+//! The per-type fan-out is embarrassingly parallel (each type's rng
+//! stream derives only from the master seed and its symptom index), so
+//! the interesting numbers are the scaling factor and the overhead of
+//! the worker pool at `--threads 1`. In sampling mode (`cargo bench`)
+//! the measured comparison is additionally written to `BENCH_train.json`
+//! in the working directory.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use recovery_core::parallel::WorkerPool;
+use recovery_core::trainer::{OfflineTrainer, TrainerConfig};
+use recovery_simlog::{ActionRecord, MachineId, RecoveryProcess, RepairAction, SimTime, SymptomId};
+
+/// Types in the synthetic catalog (the paper trains the top 40; 32 keeps
+/// the bench brisk while saturating any realistic core count).
+const TYPES: u32 = 32;
+/// Training processes per type.
+const PER_TYPE: u64 = 24;
+
+/// A hand-crafted catalog: `TYPES` error types (distinct initial
+/// symptoms), each with `PER_TYPE` processes whose required action and
+/// action costs vary deterministically — no generator randomness, so the
+/// workload is identical on every run.
+fn synthetic_catalog() -> Vec<RecoveryProcess> {
+    let cures = [
+        RepairAction::TryNop,
+        RepairAction::Reboot,
+        RepairAction::Reimage,
+        RepairAction::Rma,
+    ];
+    let mut processes = Vec::new();
+    for ty in 0..TYPES {
+        let cure = cures[(ty % 4) as usize];
+        for j in 0..PER_TYPE {
+            let start = u64::from(ty) * 1_000_000 + j * 10_000;
+            let symptom = SymptomId::new(ty);
+            let symptoms = vec![
+                (SimTime::from_secs(start), symptom),
+                (SimTime::from_secs(start + 60 + j * 7), symptom),
+            ];
+            // Cost spread per sample: the jitter keeps Q-values from
+            // collapsing to a single repeated backup while staying
+            // deterministic.
+            let cure_delay = 600 + 90 * j + u64::from(ty % 5) * 30;
+            let mut actions = Vec::new();
+            if cure != RepairAction::TryNop {
+                // Every third process records a failed weaker attempt
+                // first, exercising multi-step recoveries.
+                if j % 3 == 0 && cure != RepairAction::Reboot {
+                    actions.push(ActionRecord {
+                        time: SimTime::from_secs(start + 300),
+                        action: RepairAction::Reboot,
+                    });
+                }
+                actions.push(ActionRecord {
+                    time: SimTime::from_secs(start + cure_delay),
+                    action: cure,
+                });
+            }
+            let success = start + cure_delay + 120 + j * 11;
+            processes.push(RecoveryProcess::new(
+                MachineId::new(ty * 1_000 + j as u32),
+                symptoms,
+                actions,
+                SimTime::from_secs(success),
+            ));
+        }
+    }
+    processes
+}
+
+fn capped_config() -> TrainerConfig {
+    let mut config = TrainerConfig::fast();
+    config.learning.max_episodes = 4_000;
+    config
+}
+
+fn train_with(train: &[RecoveryProcess], threads: usize) -> usize {
+    let trainer = OfflineTrainer::new(train, capped_config()).with_threads(threads);
+    let (_, stats) = trainer.train_all();
+    stats.len()
+}
+
+fn bench_parallel_training(c: &mut Criterion) {
+    let train = synthetic_catalog();
+    let available = WorkerPool::available().threads();
+    let mut group = c.benchmark_group("parallel_train");
+    group.sample_size(10);
+
+    group.bench_function("train_all_sequential", |b| {
+        b.iter(|| std::hint::black_box(train_with(&train, 1)))
+    });
+    if available > 1 {
+        group.bench_function(&format!("train_all_{available}_threads"), |b| {
+            b.iter(|| std::hint::black_box(train_with(&train, available)))
+        });
+    }
+    // Oversubscribed row: on a single-core host this measures the pure
+    // scheduling overhead of the worker pool; on a multi-core host it
+    // shows the cost of more workers than items is bounded by the pool's
+    // `min(threads, items)` clamp.
+    group.bench_function("train_all_4_workers", |b| {
+        b.iter(|| std::hint::black_box(train_with(&train, 4)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_training);
+
+/// Times `f` a few times and returns the best wall-clock in milliseconds.
+fn best_of_ms(reps: u32, mut f: impl FnMut()) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    benches();
+    // `cargo test` runs bench binaries without `--bench`; only the real
+    // bench invocation measures and records the comparison file.
+    if !std::env::args().any(|a| a == "--bench") {
+        return;
+    }
+    let train = synthetic_catalog();
+    let threads = WorkerPool::available().threads();
+    let types = train_with(&train, 1);
+    let sequential_ms = best_of_ms(3, || {
+        std::hint::black_box(train_with(&train, 1));
+    });
+    let parallel_ms = best_of_ms(3, || {
+        std::hint::black_box(train_with(&train, threads));
+    });
+    let json = format!(
+        "{{\"bench\":\"train_all\",\"types\":{types},\"threads\":{threads},\
+         \"sequential_ms\":{sequential_ms:.3},\"parallel_ms\":{parallel_ms:.3},\
+         \"speedup\":{:.3}}}\n",
+        sequential_ms / parallel_ms
+    );
+    // Bench binaries run with the package directory as CWD; anchor the
+    // result file at the workspace root instead.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_train.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => print!("wrote BENCH_train.json: {json}"),
+        Err(e) => eprintln!("could not write BENCH_train.json: {e}"),
+    }
+}

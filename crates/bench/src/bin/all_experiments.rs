@@ -11,6 +11,8 @@ use recovery_core::trainer::TrainerConfig;
 
 fn main() {
     let scale = recovery_bench::scale_from_args(0.25);
+    let threads = recovery_bench::threads_from_args();
+    eprintln!("# training with {threads} worker threads (--threads N overrides)");
     let timings = recovery_bench::PhaseTimings::from_args();
     let mut generated = {
         let _phase = timings.phase("generate");
@@ -93,7 +95,7 @@ fn main() {
             eprintln!("# training at fraction {f} ...");
             let _phase = timings.phase("test_run");
             TestRun::execute_in_context_observed(
-                &recovery_bench::figure_test_config(f),
+                &recovery_bench::figure_test_config(f).with_threads(threads),
                 &ctx,
                 timings.telemetry(),
             )
@@ -167,7 +169,8 @@ fn main() {
         minp: recovery_bench::MINP,
         ..TestRunConfig::new(0.4)
     }
-    .with_trainer(TrainerConfig::paper_faithful());
+    .with_trainer(TrainerConfig::paper_faithful())
+    .with_threads(threads);
     let cmp = {
         let _phase = timings.phase("sweep_comparison");
         sweep_comparison_observed(

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 use recovery_core::experiment::{ExperimentContext, TestRunConfig};
+use recovery_core::parallel::WorkerPool;
 use recovery_core::trainer::TrainerConfig;
 use recovery_simlog::{GeneratedLog, GeneratorConfig, LogGenerator};
 use recovery_telemetry::{JsonlSink, Span, Telemetry};
@@ -61,6 +62,40 @@ pub fn scale_from_args(default_scale: f64) -> f64 {
         .and_then(|s| s.parse::<f64>().ok())
         .filter(|v| *v > 0.0)
         .unwrap_or(default_scale)
+}
+
+/// Parses `--threads <n>` from the process arguments, falling back to
+/// the `RECOVERY_THREADS` environment variable and then to the machine's
+/// available parallelism. `1` selects the legacy sequential path; trained
+/// policies are byte-identical for every thread count.
+///
+/// # Panics
+///
+/// Panics (with a usage message) if the argument is present but not a
+/// positive integer.
+pub fn threads_from_args() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            return args
+                .next()
+                .and_then(|s| s.parse::<usize>().ok())
+                .filter(|v| *v > 0)
+                .unwrap_or_else(|| panic!("usage: --threads <positive integer>"));
+        }
+        if let Some(v) = a.strip_prefix("--threads=") {
+            return v
+                .parse::<usize>()
+                .ok()
+                .filter(|v| *v > 0)
+                .unwrap_or_else(|| panic!("usage: --threads <positive integer>"));
+        }
+    }
+    std::env::var("RECOVERY_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|v| *v > 0)
+        .unwrap_or_else(|| WorkerPool::available().threads())
 }
 
 /// Generates the synthetic log at the given scale.
@@ -260,6 +295,14 @@ mod tests {
         // No --scale argument in the test harness invocation.
         let s = scale_from_args(0.33);
         assert!(s > 0.0);
+    }
+
+    #[test]
+    fn threads_default_is_positive() {
+        // No --threads argument in the test harness invocation; the
+        // fallback is the machine's available parallelism (or
+        // RECOVERY_THREADS when set), always at least one.
+        assert!(threads_from_args() >= 1);
     }
 
     #[test]

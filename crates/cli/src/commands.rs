@@ -3,8 +3,9 @@
 use std::fs;
 
 use recovery_core::error_type::NoiseFilter;
-use recovery_core::evaluate::{evaluate as evaluate_policy, time_ordered_split};
+use recovery_core::evaluate::{evaluate_parallel, time_ordered_split};
 use recovery_core::experiment::{fig3_cohesion_curve, ExperimentContext, TestRun, TestRunConfig};
+use recovery_core::parallel::WorkerPool;
 use recovery_core::persist::{policy_from_text, policy_to_text};
 use recovery_core::pipeline::{run_continuous_loop_observed, ContinuousLoopConfig};
 use recovery_core::platform::{CostEstimation, SimulationPlatform};
@@ -155,6 +156,20 @@ fn check_fraction(fraction: f64) -> Result<(), String> {
     }
 }
 
+/// Parses `--threads`: absent means the machine's available parallelism,
+/// `1` forces the legacy sequential path, `0` is rejected. Trained
+/// policies are byte-identical for every accepted value.
+fn parse_threads(args: &Args) -> Result<usize, String> {
+    match args.flag("threads") {
+        None => Ok(WorkerPool::available().threads()),
+        Some(v) => match v.parse::<usize>() {
+            Ok(0) => Err("--threads must be at least 1 (use 1 for the sequential path)".into()),
+            Ok(n) => Ok(n),
+            Err(_) => Err(format!("--threads: cannot parse {v:?}")),
+        },
+    }
+}
+
 fn trainer_config(method: &str) -> Result<TrainerConfig, String> {
     match method {
         "standard" | "tree" => Ok(TrainerConfig::default()),
@@ -173,6 +188,7 @@ pub fn train(args: &Args, session: &Session) -> Result<(), String> {
     check_fraction(fraction)?;
     let minp: f64 = args.flag_or("minp", 0.1f64)?;
     let top_k: usize = args.flag_or("top", 40usize)?;
+    let threads = parse_threads(args)?;
     let method = args.flag("method").unwrap_or("standard").to_owned();
 
     let processes = log.split_processes();
@@ -182,7 +198,7 @@ pub fn train(args: &Args, session: &Session) -> Result<(), String> {
     };
     let (train_set, _) = time_ordered_split(&ctx.clean, fraction);
     session.info(&format!(
-        "training on {} processes ({} error types, method {method}) ...",
+        "training on {} processes ({} error types, method {method}, {threads} threads) ...",
         train_set.len(),
         ctx.types.len()
     ));
@@ -193,7 +209,9 @@ pub fn train(args: &Args, session: &Session) -> Result<(), String> {
     }
     let trainer = {
         let _span = session.telemetry.span("platform_build");
-        OfflineTrainer::new(train_set, config).with_observer(session.telemetry.observer_handle())
+        OfflineTrainer::new(train_set, config)
+            .with_observer(session.telemetry.observer_handle())
+            .with_threads(threads)
     };
     let (policy, train_stats) = {
         let _span = session.telemetry.span("train");
@@ -233,6 +251,7 @@ pub fn evaluate(args: &Args, session: &Session) -> Result<(), String> {
     let hybrid: bool = args.flag_or("hybrid", true)?;
     let minp: f64 = args.flag_or("minp", 0.1f64)?;
     let top_k: usize = args.flag_or("top", 40usize)?;
+    let pool = WorkerPool::new(parse_threads(args)?);
 
     let policy_text =
         fs::read_to_string(policy_path).map_err(|e| format!("reading {policy_path}: {e}"))?;
@@ -254,9 +273,9 @@ pub fn evaluate(args: &Args, session: &Session) -> Result<(), String> {
     let _span = session.telemetry.span("evaluate");
     let report = if hybrid {
         let policy = HybridPolicy::new(trained, UserStatePolicy::default());
-        evaluate_policy(&policy, &platform, test_set, &ctx.types, 20)
+        evaluate_parallel(&policy, &platform, test_set, &ctx.types, 20, &pool)
     } else {
-        evaluate_policy(&trained, &platform, test_set, &ctx.types, 20)
+        evaluate_parallel(&trained, &platform, test_set, &ctx.types, 20, &pool)
     };
     println!(
         "policy: {} | test processes: {} | training fraction {fraction}",
@@ -358,6 +377,7 @@ pub fn report(args: &Args, session: &Session) -> Result<(), String> {
     let method = args.flag("method").unwrap_or("standard").to_owned();
     let minp: f64 = args.flag_or("minp", 0.1f64)?;
     let top_k: usize = args.flag_or("top", 40usize)?;
+    let threads = parse_threads(args)?;
     let processes = log.split_processes();
     let ctx = {
         let _span = session.telemetry.span("prepare");
@@ -377,6 +397,7 @@ pub fn report(args: &Args, session: &Session) -> Result<(), String> {
         let config = TestRunConfig {
             minp,
             top_k,
+            threads,
             ..TestRunConfig::new(fraction)
         }
         .with_trainer(trainer_config(&method)?);

@@ -330,6 +330,82 @@ fn log_format_json_renders_progress_as_jsonl() {
 }
 
 #[test]
+fn help_documents_threads_flag() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("--threads N"), "{text}");
+    assert!(text.contains("sequential path"), "{text}");
+}
+
+#[test]
+fn threads_zero_or_garbage_is_rejected() {
+    let log = tmp("threads0.log");
+    generate_log(&log);
+    for bad in ["0", "abc", "-2"] {
+        let out = bin()
+            .args([
+                "train",
+                log.to_str().unwrap(),
+                "--out",
+                "/tmp/threads0.policy",
+                "--threads",
+                bad,
+            ])
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "--threads {bad} must be rejected");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("--threads"), "--threads {bad}: {err}");
+        assert!(!err.contains("panicked"), "--threads {bad} panicked: {err}");
+    }
+    std::fs::remove_file(&log).ok();
+}
+
+#[test]
+fn threads_one_and_many_train_byte_identical_policies() {
+    let log = tmp("threads.log");
+    let sequential = tmp("threads-seq.policy");
+    let parallel = tmp("threads-par.policy");
+    generate_log(&log);
+
+    for (threads, path) in [("1", &sequential), ("3", &parallel)] {
+        let out = bin()
+            .args([
+                "train",
+                log.to_str().unwrap(),
+                "--out",
+                path.to_str().unwrap(),
+                "--top",
+                "4",
+                "--threads",
+                threads,
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "--threads {threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let seq_text = std::fs::read_to_string(&sequential).unwrap();
+    let par_text = std::fs::read_to_string(&parallel).unwrap();
+    assert!(
+        seq_text == par_text,
+        "policies trained with --threads 1 and --threads 3 must be byte-identical"
+    );
+    assert!(
+        seq_text.starts_with("# autorecover policy v1"),
+        "{seq_text}"
+    );
+
+    std::fs::remove_file(&log).ok();
+    std::fs::remove_file(&sequential).ok();
+    std::fs::remove_file(&parallel).ok();
+}
+
+#[test]
 fn train_rejects_unknown_method() {
     let log = tmp("method.log");
     generate_log(&log);

@@ -20,6 +20,7 @@ use std::collections::HashMap;
 use recovery_simlog::RecoveryProcess;
 
 use crate::error_type::ErrorType;
+use crate::parallel::WorkerPool;
 use crate::platform::SimulationPlatform;
 use crate::policy::DecidePolicy;
 
@@ -187,8 +188,80 @@ pub fn evaluate<P: DecidePolicy + ?Sized>(
     max_attempts: usize,
 ) -> EvaluationReport {
     assert!(max_attempts > 0, "need at least one attempt");
-    let rank_of: HashMap<ErrorType, usize> =
-        types.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let rank_of = rank_index(types);
+    let outcomes = test
+        .iter()
+        .map(|p| replay_outcome(policy, platform, p, &rank_of, max_attempts));
+    aggregate(policy.name(), types, outcomes)
+}
+
+/// [`evaluate`] with per-process replays fanned out over `pool`.
+///
+/// The per-process results are collected in test-set order and folded by
+/// the same sequential accumulation as [`evaluate`], so the report —
+/// floating-point sums included — is bit-identical to the sequential one
+/// for any thread count. (Summing per-worker partials instead would
+/// regroup the additions and drift in the last bits.)
+///
+/// # Panics
+///
+/// Panics if `max_attempts` is zero.
+pub fn evaluate_parallel<P: DecidePolicy + Sync + ?Sized>(
+    policy: &P,
+    platform: &SimulationPlatform,
+    test: &[RecoveryProcess],
+    types: &[ErrorType],
+    max_attempts: usize,
+    pool: &WorkerPool,
+) -> EvaluationReport {
+    assert!(max_attempts > 0, "need at least one attempt");
+    let rank_of = rank_index(types);
+    let outcomes = pool.map_indexed(test.len(), |i| {
+        replay_outcome(policy, platform, &test[i], &rank_of, max_attempts)
+    });
+    aggregate(policy.name(), types, outcomes)
+}
+
+/// The result of replaying one test process, reduced to what aggregation
+/// needs. `None` when the process's error type is outside the ranking.
+#[derive(Debug, Clone, Copy)]
+struct ProcessOutcome {
+    rank: usize,
+    actual: f64,
+    handled: bool,
+    estimated: f64,
+}
+
+fn rank_index(types: &[ErrorType]) -> HashMap<ErrorType, usize> {
+    types.iter().enumerate().map(|(i, &t)| (t, i)).collect()
+}
+
+fn replay_outcome<P: DecidePolicy + ?Sized>(
+    policy: &P,
+    platform: &SimulationPlatform,
+    p: &RecoveryProcess,
+    rank_of: &HashMap<ErrorType, usize>,
+    max_attempts: usize,
+) -> Option<ProcessOutcome> {
+    let &rank = rank_of.get(&ErrorType::of(p))?;
+    let replay = platform.replay(p, policy, max_attempts);
+    Some(ProcessOutcome {
+        rank,
+        actual: p.downtime().as_secs_f64(),
+        handled: replay.handled(),
+        estimated: replay.total_cost(),
+    })
+}
+
+/// Folds per-process outcomes, *in test-set order*, into the per-type
+/// rows. Kept sequential on purpose: both [`evaluate`] and
+/// [`evaluate_parallel`] funnel through this one accumulation so their
+/// floating-point sums are performed in the identical order.
+fn aggregate(
+    policy_name: &str,
+    types: &[ErrorType],
+    outcomes: impl IntoIterator<Item = Option<ProcessOutcome>>,
+) -> EvaluationReport {
     let mut rows: Vec<TypeEvaluation> = types
         .iter()
         .enumerate()
@@ -202,23 +275,18 @@ pub fn evaluate<P: DecidePolicy + ?Sized>(
             actual_cost_all: 0.0,
         })
         .collect();
-    for p in test {
-        let Some(&rank) = rank_of.get(&ErrorType::of(p)) else {
-            continue;
-        };
-        let row = &mut rows[rank];
+    for outcome in outcomes.into_iter().flatten() {
+        let row = &mut rows[outcome.rank];
         row.processes += 1;
-        let actual = p.downtime().as_secs_f64();
-        row.actual_cost_all += actual;
-        let replay = platform.replay(p, policy, max_attempts);
-        if replay.handled() {
+        row.actual_cost_all += outcome.actual;
+        if outcome.handled {
             row.handled += 1;
-            row.actual_cost += actual;
-            row.estimated_cost += replay.total_cost();
+            row.actual_cost += outcome.actual;
+            row.estimated_cost += outcome.estimated;
         }
     }
     EvaluationReport {
-        policy_name: policy.name().to_owned(),
+        policy_name: policy_name.to_owned(),
         per_type: rows,
     }
 }

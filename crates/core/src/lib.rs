@@ -54,6 +54,7 @@ pub mod error_type;
 pub mod evaluate;
 pub mod exact;
 pub mod experiment;
+pub mod parallel;
 pub mod persist;
 pub mod pipeline;
 pub mod platform;
@@ -64,6 +65,7 @@ pub mod trainer;
 
 pub use error_type::{ErrorType, ErrorTypeRanking, NoiseFilter};
 pub use evaluate::{time_ordered_split, EvaluationReport, TypeEvaluation};
+pub use parallel::WorkerPool;
 pub use platform::{AttemptOutcome, CostEstimation, SimulationPlatform};
 pub use policy::{DecidePolicy, HybridPolicy, TrainedPolicy, UserStatePolicy};
 pub use state::{ActionMultiset, RecoveryState};

@@ -231,17 +231,20 @@ impl<'t, 'a> SelectionTreeTrainer<'t, 'a> {
         })
     }
 
-    /// Trains all requested types and merges the fragments.
+    /// Trains all requested types and merges the fragments. Like
+    /// [`OfflineTrainer::train`], the per-type runs are fanned out over
+    /// the underlying trainer's worker pool and merged in the order of
+    /// `types`, so the result does not depend on the thread count.
     pub fn train(&self, types: &[ErrorType]) -> (TrainedPolicy, Vec<TypeTrainingStats>) {
+        let outcomes = self
+            .trainer
+            .pool()
+            .map_indexed(types.len(), |i| self.train_type(types[i]));
         let mut policy = TrainedPolicy::default();
         let mut stats = Vec::new();
-        for &et in types {
-            if let Some(outcome) = self.train_type(et) {
-                for ((state, action), value, _) in outcome.q.iter() {
-                    policy.q_mut().set(*state, *action, value);
-                }
-                stats.push(outcome.stats);
-            }
+        for outcome in outcomes.into_iter().flatten() {
+            policy.q_mut().merge_from(outcome.q);
+            stats.push(outcome.stats);
         }
         (policy, stats)
     }

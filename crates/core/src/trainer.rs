@@ -20,9 +20,28 @@ use recovery_simlog::{RecoveryProcess, RepairAction};
 use recovery_telemetry::{Event, ObserverHandle, TrainingObserver};
 
 use crate::error_type::{ErrorType, ErrorTypeRanking};
+use crate::parallel::WorkerPool;
 use crate::platform::{CostEstimation, SimulationPlatform};
 use crate::policy::TrainedPolicy;
 use crate::state::RecoveryState;
+
+/// The deterministic per-type seed derivation: every random stream of one
+/// error type's training is a function of the master seed, the type's
+/// symptom index, and a per-purpose salt — never of execution order.
+/// This is what makes per-type training embarrassingly parallel with
+/// byte-identical results for any thread count.
+///
+/// For a fixed `(master_seed, salt)` the map is injective over symptom
+/// indices: both multiplications are by odd constants (bijections on
+/// `u64`), the XOR is a bijection, and distinct `u32` indices produce
+/// distinct sums before the second multiplication.
+pub fn type_seed(master_seed: u64, symptom_index: u32, salt: u64) -> u64 {
+    master_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(symptom_index))
+        .wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        ^ salt
+}
 
 /// Configuration of the offline trainer.
 #[derive(Debug, Clone, PartialEq)]
@@ -274,6 +293,7 @@ pub struct OfflineTrainer<'a> {
     ranking: ErrorTypeRanking,
     config: TrainerConfig,
     observer: ObserverHandle,
+    pool: WorkerPool,
 }
 
 impl<'a> OfflineTrainer<'a> {
@@ -293,7 +313,26 @@ impl<'a> OfflineTrainer<'a> {
             ranking,
             config,
             observer: ObserverHandle::none(),
+            pool: WorkerPool::available(),
         }
+    }
+
+    /// Sets the number of worker threads [`OfflineTrainer::train`] fans
+    /// per-type training out over. The default is the machine's available
+    /// parallelism; `threads = 1` is the legacy sequential path. The
+    /// trained tables are byte-identical for every choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.pool = WorkerPool::new(threads);
+        self
+    }
+
+    /// The worker pool used by [`OfflineTrainer::train`].
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
     }
 
     /// Attaches a training observer. The observer receives sweep-level
@@ -464,16 +503,21 @@ impl<'a> OfflineTrainer<'a> {
     /// Trains every requested type and merges the per-type tables into one
     /// [`TrainedPolicy`]. Types without training data are skipped (they
     /// surface as unhandled cases downstream, exactly as in the paper).
+    ///
+    /// Per-type training is fanned out over the trainer's [`WorkerPool`]
+    /// (see [`OfflineTrainer::with_threads`]). Each type's random streams
+    /// derive from [`type_seed`] alone, and the fragments are merged in
+    /// the order of `types` — states of different types are disjoint — so
+    /// the result is byte-identical for any thread count.
     pub fn train(&self, types: &[ErrorType]) -> (TrainedPolicy, Vec<TypeTrainingStats>) {
+        let fragments = self
+            .pool
+            .map_indexed(types.len(), |i| self.train_type(types[i]));
         let mut policy = TrainedPolicy::default();
         let mut all_stats = Vec::new();
-        for &et in types {
-            if let Some((q, stats)) = self.train_type(et) {
-                for ((state, action), value, _) in q.iter() {
-                    policy.q_mut().set(*state, *action, value);
-                }
-                all_stats.push(stats);
-            }
+        for (q, stats) in fragments.into_iter().flatten() {
+            policy.q_mut().merge_from(q);
+            all_stats.push(stats);
         }
         (policy, all_stats)
     }
@@ -491,12 +535,7 @@ impl<'a> OfflineTrainer<'a> {
 
     /// A deterministic per-type seed derived from the master seed.
     fn type_seed(&self, et: ErrorType, salt: u64) -> u64 {
-        self.config
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(u64::from(et.symptom().index()))
-            .wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
-            ^ salt
+        type_seed(self.config.seed, et.symptom().index(), salt)
     }
 }
 

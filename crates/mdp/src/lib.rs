@@ -67,3 +67,25 @@ pub use qlearning::{QLearning, QLearningConfig, TrainResult};
 pub use qtable::QTable;
 pub use sarsa::Sarsa;
 pub use tabular::{value_iteration, TabularMdp, ValueIterationResult};
+
+#[cfg(test)]
+mod thread_bounds {
+    //! The trainer fans per-type Q-learning out across scoped threads;
+    //! these assertions pin the `Send`/`Sync` bounds that fan-out relies
+    //! on, so a future non-thread-safe field (an `Rc`, a raw pointer)
+    //! fails here instead of deep inside `recovery-core`.
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn learning_internals_are_send_and_sync() {
+        assert_send_sync::<QTable<u64, u8>>();
+        assert_send_sync::<QLearning>();
+        assert_send_sync::<DoubleQLearning>();
+        assert_send_sync::<QLearningConfig>();
+        assert_send_sync::<TrainResult<u64, u8>>();
+        assert_send_sync::<BoltzmannSelector>();
+        assert_send_sync::<TemperatureSchedule>();
+    }
+}

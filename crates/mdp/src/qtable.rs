@@ -133,6 +133,18 @@ impl<S: Eq + Hash + Clone, A: Eq + Hash + Copy> QTable<S, A> {
         out
     }
 
+    /// Absorbs every entry of `other`, values and visit counts alike;
+    /// entries already present are overwritten by `other`'s.
+    ///
+    /// This is how per-type table fragments trained in parallel are
+    /// folded into one policy table. When the merged tables have
+    /// **disjoint key sets** — per-type fragments do, because the state
+    /// embeds the error type — the merge is commutative: any merge order
+    /// produces the same table.
+    pub fn merge_from(&mut self, other: QTable<S, A>) {
+        self.entries.extend(other.entries);
+    }
+
     /// Resets every entry's visit count to `to`, keeping the learned
     /// values. Used at the exploration→search phase boundary of the
     /// paper's two-phase learning course: subsequent Eq. 6 averaging

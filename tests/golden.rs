@@ -1,0 +1,90 @@
+//! Golden-policy regression test: a committed log fixture is trained
+//! with a pinned configuration and the serialized policy must match the
+//! committed snapshot byte for byte.
+//!
+//! This locks down the *entire* deterministic pipeline — log parsing,
+//! noise filtering, type ranking, per-type seed derivation, Q-learning,
+//! parallel fan-out/merge, and policy serialization. Any intentional
+//! change to one of those stages must regenerate the snapshot:
+//!
+//! ```text
+//! REGEN_GOLDEN=1 cargo test -p recovery-core --test golden
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use recovery_core::experiment::ExperimentContext;
+use recovery_core::persist::policy_to_text;
+use recovery_core::trainer::{OfflineTrainer, TrainerConfig};
+use recovery_simlog::RecoveryLog;
+
+fn fixture(name: &str) -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/core; fixtures live at the workspace
+    // root next to the integration tests.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures")
+        .join(name)
+}
+
+/// The pinned training recipe. Changing anything here (or in the stages
+/// it exercises) is a deliberate behavioural change — regenerate the
+/// snapshot and review the diff.
+fn train_golden_policy() -> String {
+    let text = fs::read_to_string(fixture("golden.log")).expect("committed log fixture");
+    let mut log = RecoveryLog::from_text(&text).expect("fixture log parses");
+    let symptoms = log.symptoms().clone();
+    let ctx = ExperimentContext::prepare(log.split_processes(), 0.1, 4);
+    let (train, _) = recovery_core::evaluate::time_ordered_split(&ctx.clean, 0.4);
+    let mut config = TrainerConfig::fast().with_seed(0x601D_5EED);
+    config.learning.max_episodes = 1_500;
+    // Two threads on purpose: the snapshot certifies the parallel path
+    // produces the sequential bytes (tests/parallel.rs asserts the
+    // matrix; this pins the actual values).
+    let trainer = OfflineTrainer::new(train, config).with_threads(2);
+    let (policy, stats) = trainer.train(&ctx.types);
+    assert!(!stats.is_empty(), "fixture log trained no types");
+    policy_to_text(&policy, &symptoms)
+}
+
+#[test]
+fn trained_policy_matches_committed_snapshot() {
+    let actual = train_golden_policy();
+    let snapshot_path = fixture("golden.policy");
+
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        fs::write(&snapshot_path, &actual).expect("write regenerated snapshot");
+        eprintln!("regenerated {}", snapshot_path.display());
+        return;
+    }
+
+    let expected = fs::read_to_string(&snapshot_path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read committed snapshot {}: {e}\n\
+             regenerate it with: REGEN_GOLDEN=1 cargo test -p recovery-core --test golden",
+            snapshot_path.display()
+        )
+    });
+    if actual != expected {
+        let first_diff = actual
+            .lines()
+            .zip(expected.lines())
+            .position(|(a, e)| a != e)
+            .map_or("line counts differ".to_owned(), |i| {
+                format!(
+                    "first differing line {}:\n  expected: {}\n  actual:   {}",
+                    i + 1,
+                    expected.lines().nth(i).unwrap_or(""),
+                    actual.lines().nth(i).unwrap_or("")
+                )
+            });
+        panic!(
+            "GOLDEN POLICY DRIFT — the trained policy no longer matches \
+             tests/fixtures/golden.policy ({} expected lines, {} actual).\n{first_diff}\n\
+             If this change is intentional, regenerate the snapshot and commit it:\n\
+             \n    REGEN_GOLDEN=1 cargo test -p recovery-core --test golden\n",
+            expected.lines().count(),
+            actual.lines().count(),
+        );
+    }
+}

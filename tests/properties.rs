@@ -9,9 +9,10 @@ use recovery_core::error_type::ErrorType;
 use recovery_core::exact::EmpiricalTypeModel;
 use recovery_core::platform::{CostEstimation, SimulationPlatform};
 use recovery_core::policy::UserStatePolicy;
-use recovery_core::state::ActionMultiset;
+use recovery_core::state::{ActionMultiset, RecoveryState};
+use recovery_core::trainer::type_seed;
 use recovery_mdp::{
-    value_iteration, BoltzmannSelector, QLearning, QLearningConfig, SampledMdp, TabularMdp,
+    value_iteration, BoltzmannSelector, QLearning, QLearningConfig, QTable, SampledMdp, TabularMdp,
     TemperatureSchedule,
 };
 use recovery_mpattern::TransactionDb;
@@ -328,5 +329,140 @@ proptest! {
             .mine(&db);
         let reference = recovery_mpattern::brute_force_mine(&db, minp, min_support);
         prop_assert_eq!(mined, reference);
+    }
+}
+
+// ---------- parallel training determinism ----------
+
+/// One per-type Q-table fragment, described as (symptom offset, action,
+/// value, state depth): the state is the type's initial state after
+/// `depth` repetitions of the action.
+type Fragment = Vec<(u32, RepairAction, f64, u8)>;
+
+fn arb_fragment(sym_base: u32) -> impl Strategy<Value = Fragment> {
+    proptest::collection::vec((0u32..6, arb_action(), 0.0f64..1e6, 0u8..4), 0..20).prop_map(
+        move |v| {
+            v.into_iter()
+                .map(|(s, a, val, depth)| (sym_base + s, a, val, depth))
+                .collect()
+        },
+    )
+}
+
+fn build_table(entries: &Fragment) -> QTable<RecoveryState, RepairAction> {
+    let mut q = QTable::new();
+    for &(sym, a, val, depth) in entries {
+        let mut state = RecoveryState::initial(ErrorType::new(SymptomId::new(sym)));
+        for _ in 0..depth {
+            state = state.after(a);
+        }
+        // `update` rather than `set` so visit counts are nonzero and the
+        // merge must carry them too.
+        q.update(state, a, val);
+    }
+    q
+}
+
+/// A total, exact snapshot of a table: `(debug key, value bits, visits)`
+/// sorted by key, so tables can be compared entry-for-entry.
+fn snapshot(q: &QTable<RecoveryState, RepairAction>) -> Vec<(String, u64, u64)> {
+    let mut v: Vec<_> = q
+        .iter()
+        .map(|(k, val, vis)| (format!("{k:?}"), val.to_bits(), vis))
+        .collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Per-type fragments have disjoint keys (the state embeds the error
+    /// type), so folding them into one policy table commutes: the merged
+    /// table is identical — values, visit counts, entry set — no matter
+    /// which fragment lands first. This is what lets the parallel trainer
+    /// merge worker results in rank order without caring which worker
+    /// finished first.
+    #[test]
+    fn qtable_merge_is_order_independent_for_disjoint_type_keys(
+        a in arb_fragment(0),
+        b in arb_fragment(100),
+    ) {
+        let (qa, qb) = (build_table(&a), build_table(&b));
+        let mut ab = qa.clone();
+        ab.merge_from(qb.clone());
+        let mut ba = qb;
+        ba.merge_from(qa);
+        prop_assert_eq!(snapshot(&ab), snapshot(&ba));
+        prop_assert_eq!(ab.len(), ba.len());
+    }
+
+    /// Annealing schedules are monotonically non-increasing in the step
+    /// index and never fall below their floor — the property that makes
+    /// "explore early, exploit late" hold for arbitrary parameters.
+    #[test]
+    fn temperature_anneals_monotonically(
+        t0 in 1.0f64..1e6,
+        decay_millis in 1u32..1000,
+        floor_frac in 1e-6f64..1.0,
+        mut ks in proptest::collection::vec(0u64..100_000, 2..16),
+    ) {
+        let decay = f64::from(decay_millis) / 1000.0;
+        let floor = t0 * floor_frac;
+        let schedules = [
+            TemperatureSchedule::Geometric { t0, decay, floor },
+            TemperatureSchedule::Harmonic { t0, floor },
+        ];
+        ks.sort_unstable();
+        for sched in schedules {
+            let mut prev = f64::INFINITY;
+            for &k in &ks {
+                let t = sched.temperature(k);
+                prop_assert!(t >= floor, "{sched:?} fell below its floor at k={k}");
+                prop_assert!(t <= prev, "{sched:?} increased at k={k}: {t} > {prev}");
+                prev = t;
+            }
+        }
+    }
+
+    /// Boltzmann probabilities still sum to 1 along an entire anneal —
+    /// the pairing of the two properties the parallel trainer's
+    /// exploration relies on at every sweep index.
+    #[test]
+    fn boltzmann_sums_to_one_along_an_anneal(
+        costs in proptest::collection::vec(0.0f64..1e7, 2..6),
+        k in 0u64..50_000,
+    ) {
+        let sched = TemperatureSchedule::default();
+        let p = BoltzmannSelector::new().probabilities(&costs, sched.temperature(k));
+        let total: f64 = p.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "sum {total} at k={k}");
+        // Late in the anneal a huge cost gap underflows exp() to exactly
+        // 0 — a valid probability; only negatives/NaN/inf are bugs.
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    /// `type_seed` is injective over symptom indices for any fixed
+    /// master seed and salt: no two error types can ever share a random
+    /// stream, which is the bedrock of order-independent parallel
+    /// training. (Both multiplications are by odd constants — bijections
+    /// on u64 — so distinct indices give distinct seeds.)
+    #[test]
+    fn type_seed_is_injective_over_symptom_indices(
+        master in 0u64..u64::MAX,
+        salt in 0u64..u64::MAX,
+        indices in proptest::collection::vec(0u32..1_000_000, 2..64),
+    ) {
+        let mut seen: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        for &i in &indices {
+            let seed = type_seed(master, i, salt);
+            if let Some(&prev) = seen.get(&seed) {
+                prop_assert_eq!(
+                    prev, i,
+                    "indices {} and {} collide on seed {:#x}", prev, i, seed
+                );
+            }
+            seen.insert(seed, i);
+        }
     }
 }
