@@ -5,7 +5,12 @@
 //! the interesting numbers are the scaling factor and the overhead of
 //! the worker pool at `--threads 1`. In sampling mode (`cargo bench`)
 //! the measured comparison is additionally written to `BENCH_train.json`
-//! in the working directory.
+//! at the workspace root: the sequential baseline plus a per-thread-count
+//! series. The parallel arm always runs at least 2 workers — on a
+//! single-core host `available_parallelism` is 1, and comparing the pool
+//! at 1 thread against the sequential path would silently record pool
+//! overhead as a bogus "speedup" (this file once reported `"threads":1`
+//! with `speedup: 0.712` that way).
 
 use std::time::Instant;
 
@@ -130,18 +135,49 @@ fn main() {
         return;
     }
     let train = synthetic_catalog();
-    let threads = WorkerPool::available().threads();
+    let available = WorkerPool::available().threads();
+    // The parallel arm must actually fan out: never fewer than 2 workers.
+    let pool_threads = available.max(2);
+    assert!(
+        pool_threads >= 2,
+        "parallel arm degenerated to {pool_threads} thread(s); \
+         refusing to record a 1-vs-1 comparison"
+    );
     let types = train_with(&train, 1);
     let sequential_ms = best_of_ms(3, || {
         std::hint::black_box(train_with(&train, 1));
     });
-    let parallel_ms = best_of_ms(3, || {
-        std::hint::black_box(train_with(&train, threads));
-    });
+    let mut counts = vec![2, 4, pool_threads];
+    counts.sort_unstable();
+    counts.dedup();
+    let series: Vec<(usize, f64)> = counts
+        .into_iter()
+        .map(|n| {
+            let ms = best_of_ms(3, || {
+                std::hint::black_box(train_with(&train, n));
+            });
+            (n, ms)
+        })
+        .collect();
+    let (_, parallel_ms) = *series
+        .iter()
+        .find(|(n, _)| *n == pool_threads)
+        .expect("pool_threads is in the series");
+    let series_json = series
+        .iter()
+        .map(|(n, ms)| {
+            format!(
+                "{{\"threads\":{n},\"ms\":{ms:.3},\"speedup\":{:.3}}}",
+                sequential_ms / ms
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
     let json = format!(
-        "{{\"bench\":\"train_all\",\"types\":{types},\"threads\":{threads},\
+        "{{\"bench\":\"train_all\",\"types\":{types},\
+         \"available_threads\":{available},\"threads\":{pool_threads},\
          \"sequential_ms\":{sequential_ms:.3},\"parallel_ms\":{parallel_ms:.3},\
-         \"speedup\":{:.3}}}\n",
+         \"speedup\":{:.3},\"series\":[{series_json}]}}\n",
         sequential_ms / parallel_ms
     );
     // Bench binaries run with the package directory as CWD; anchor the

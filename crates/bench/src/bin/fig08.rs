@@ -6,12 +6,18 @@ use recovery_core::experiment::TestRun;
 
 fn main() {
     let scale = recovery_bench::scale_from_args(0.25);
-    let ctx = recovery_bench::prepare(scale);
+    let diagnostics = recovery_bench::diagnostics_out_from_args();
+    let (ctx, symptoms) = recovery_bench::prepare_with_symptoms(scale);
     let runs: Vec<TestRun> = recovery_bench::TEST_FRACTIONS
         .iter()
         .map(|&f| {
             eprintln!("# training at fraction {f} ...");
-            TestRun::execute_in_context(&recovery_bench::figure_test_config(f), &ctx)
+            recovery_bench::figure_test_run(
+                &recovery_bench::figure_test_config(f),
+                &ctx,
+                &symptoms,
+                diagnostics.as_deref(),
+            )
         })
         .collect();
     let rows: Vec<Vec<String>> = (0..ctx.types.len())

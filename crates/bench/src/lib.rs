@@ -16,10 +16,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use recovery_core::experiment::{ExperimentContext, TestRunConfig};
+use recovery_core::experiment::{ExperimentContext, TestRun, TestRunConfig};
 use recovery_core::parallel::WorkerPool;
 use recovery_core::trainer::TrainerConfig;
-use recovery_simlog::{GeneratedLog, GeneratorConfig, LogGenerator};
+use recovery_diagnostics::{assemble, DiagnosticsRecorder, RunReportInputs};
+use recovery_simlog::{GeneratedLog, GeneratorConfig, LogGenerator, SymptomCatalog};
 use recovery_telemetry::{JsonlSink, Span, Telemetry};
 
 /// The paper's four training fractions (tests 1–4).
@@ -107,6 +108,13 @@ pub fn generate(scale: f64) -> GeneratedLog {
 /// Generates and prepares the experiment context (noise filter + ranking)
 /// in one step, reporting summary statistics on stderr.
 pub fn prepare(scale: f64) -> ExperimentContext {
+    prepare_with_symptoms(scale).0
+}
+
+/// [`prepare`], also returning the log's symptom catalog — needed by
+/// binaries that render human-readable diagnostics (state keys carry
+/// symptom names).
+pub fn prepare_with_symptoms(scale: f64) -> (ExperimentContext, SymptomCatalog) {
     let mut generated = generate(scale);
     let entries = generated.log.len();
     let processes = generated.log.split_processes();
@@ -114,6 +122,7 @@ pub fn prepare(scale: f64) -> ExperimentContext {
         "# log: {entries} entries, {} complete recovery processes",
         processes.len()
     );
+    let symptoms = generated.log.symptoms().clone();
     let ctx = ExperimentContext::prepare(processes, MINP, TOP_K);
     eprintln!(
         "# noise filter (minp = {MINP}): kept {:.2}% ({} clusters); top-{TOP_K} types cover {:.2}% of processes",
@@ -121,7 +130,77 @@ pub fn prepare(scale: f64) -> ExperimentContext {
         ctx.cluster_count,
         100.0 * ctx.ranking.top_k_coverage(TOP_K),
     );
-    ctx
+    (ctx, symptoms)
+}
+
+/// Parses `--diagnostics-out <dir>` from the process arguments, falling
+/// back to the `RECOVERY_DIAGNOSTICS_OUT` environment variable. When set,
+/// the `TestRun`-based figure binaries attach a diagnostics recorder and
+/// write one run report per training fraction into the directory.
+pub fn diagnostics_out_from_args() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--diagnostics-out" {
+            return Some(
+                args.next()
+                    .unwrap_or_else(|| panic!("usage: --diagnostics-out <dir>")),
+            );
+        }
+        if let Some(v) = a.strip_prefix("--diagnostics-out=") {
+            return Some(v.to_owned());
+        }
+    }
+    std::env::var("RECOVERY_DIAGNOSTICS_OUT").ok()
+}
+
+/// Runs one figure `TestRun`, attaching a [`DiagnosticsRecorder`] and
+/// writing `run-report-f<NN>.{json,md}` into `diagnostics_out` when it is
+/// set. With `None` this is exactly `TestRun::execute_in_context` —
+/// diagnostics never change the figures.
+pub fn figure_test_run(
+    config: &TestRunConfig,
+    ctx: &ExperimentContext,
+    symptoms: &SymptomCatalog,
+    diagnostics_out: Option<&str>,
+) -> TestRun {
+    let Some(dir) = diagnostics_out else {
+        return TestRun::execute_in_context(config, ctx);
+    };
+    let recorder = DiagnosticsRecorder::new();
+    let (run, policy) = TestRun::execute_in_context_instrumented(
+        config,
+        ctx,
+        &Telemetry::disabled(),
+        &recorder.handle(),
+    );
+    let report = assemble(&RunReportInputs {
+        config: &config.trainer,
+        train_fraction: config.train_fraction,
+        stats: &run.stats,
+        policy: &policy,
+        symptoms,
+        recorder: &recorder,
+        trained: &run.trained_report,
+        hybrid: &run.hybrid_report,
+        user: &run.user_report,
+        counters: None,
+    });
+    let stem = format!(
+        "run-report-f{:02}",
+        (config.train_fraction * 100.0).round() as u32
+    );
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("# --diagnostics-out {dir}: {e}");
+        return run;
+    }
+    for (ext, content) in [("json", report.to_json()), ("md", report.to_markdown())] {
+        let path = std::path::Path::new(dir).join(format!("{stem}.{ext}"));
+        match std::fs::write(&path, content) {
+            Ok(()) => eprintln!("# wrote {}", path.display()),
+            Err(e) => eprintln!("# could not write {}: {e}", path.display()),
+        }
+    }
+    run
 }
 
 /// The trainer configuration used by the figure binaries: the paper's

@@ -1,6 +1,7 @@
 //! Implementations of the `autorecover` subcommands.
 
 use std::fs;
+use std::path::Path;
 
 use recovery_core::error_type::NoiseFilter;
 use recovery_core::evaluate::{evaluate_parallel, time_ordered_split};
@@ -12,9 +13,13 @@ use recovery_core::platform::{CostEstimation, SimulationPlatform};
 use recovery_core::policy::{HybridPolicy, LivePolicy, TrainedPolicy, UserStatePolicy};
 use recovery_core::selection_tree::{SelectionTreeConfig, SelectionTreeTrainer};
 use recovery_core::trainer::{OfflineTrainer, TrainerConfig};
+use recovery_diagnostics::{
+    assemble, diff_policies, explain_policy, DiagnosticsRecorder, ExplainOptions, RunReportInputs,
+};
 use recovery_mpattern::MPatternMiner;
 use recovery_simlog::{
-    availability, stats, ClusterSim, GeneratorConfig, LogGenerator, RecoveryLog, UserDefinedPolicy,
+    availability, stats, ClusterSim, GeneratorConfig, LogGenerator, RecoveryLog, SymptomCatalog,
+    UserDefinedPolicy,
 };
 
 use crate::args::Args;
@@ -378,6 +383,11 @@ pub fn report(args: &Args, session: &Session) -> Result<(), String> {
     let minp: f64 = args.flag_or("minp", 0.1f64)?;
     let top_k: usize = args.flag_or("top", 40usize)?;
     let threads = parse_threads(args)?;
+    let fast: bool = args.flag_or("fast", false)?;
+    let diagnostics_out = args.flag("diagnostics-out").map(str::to_owned);
+    if let Some(dir) = &diagnostics_out {
+        fs::create_dir_all(dir).map_err(|e| format!("--diagnostics-out {dir}: {e}"))?;
+    }
     let processes = log.split_processes();
     let ctx = {
         let _span = session.telemetry.span("prepare");
@@ -394,18 +404,38 @@ pub fn report(args: &Args, session: &Session) -> Result<(), String> {
         "test", "fraction", "trained/user", "hybrid/user", "coverage", "sweeps"
     );
     for (i, fraction) in [0.2, 0.4, 0.6, 0.8].into_iter().enumerate() {
+        let trainer = if fast {
+            TrainerConfig::fast()
+        } else {
+            trainer_config(&method)?
+        };
         let config = TestRunConfig {
             minp,
             top_k,
             threads,
             ..TestRunConfig::new(fraction)
         }
-        .with_trainer(trainer_config(&method)?);
+        .with_trainer(trainer);
         session.info(&format!("training at fraction {fraction} ..."));
-        let run = {
+        let recorder = diagnostics_out.as_ref().map(|_| DiagnosticsRecorder::new());
+        let extra = recorder
+            .as_ref()
+            .map_or_else(recovery_telemetry::ObserverHandle::none, |r| r.handle());
+        let (run, policy) = {
             let _span = session.telemetry.span("test_run");
-            TestRun::execute_in_context_observed(&config, &ctx, &session.telemetry)
+            TestRun::execute_in_context_instrumented(&config, &ctx, &session.telemetry, &extra)
         };
+        if let (Some(dir), Some(recorder)) = (&diagnostics_out, &recorder) {
+            write_diagnostics(
+                dir,
+                &config,
+                &run,
+                &policy,
+                log.symptoms(),
+                recorder,
+                session,
+            )?;
+        }
         let trained = run.trained_report.overall_relative_cost();
         let hybrid = run.hybrid_report.overall_relative_cost();
         let sweeps: u64 = run.stats.iter().map(|s| s.sweeps).sum();
@@ -418,6 +448,109 @@ pub fn report(args: &Args, session: &Session) -> Result<(), String> {
             run.trained_report.overall_coverage(),
             sweeps
         );
+    }
+    Ok(())
+}
+
+/// Writes one training fraction's diagnostics bundle: the versioned run
+/// report as JSON plus Markdown and HTML renderings. File names carry the
+/// fraction (`run-report-f40.*` for 0.4) so the four splits coexist.
+fn write_diagnostics(
+    dir: &str,
+    config: &TestRunConfig,
+    run: &TestRun,
+    policy: &TrainedPolicy,
+    symptoms: &SymptomCatalog,
+    recorder: &DiagnosticsRecorder,
+    session: &Session,
+) -> Result<(), String> {
+    // Gauges and histograms carry wall-clock data; only the exact
+    // counter sums keep the report deterministic, so only they embed.
+    let counters = session.telemetry.snapshot().map(|s| s.counters);
+    let report = assemble(&RunReportInputs {
+        config: &config.trainer,
+        train_fraction: config.train_fraction,
+        stats: &run.stats,
+        policy,
+        symptoms,
+        recorder,
+        trained: &run.trained_report,
+        hybrid: &run.hybrid_report,
+        user: &run.user_report,
+        counters: counters.as_ref(),
+    });
+    let stem = format!(
+        "run-report-f{:02}",
+        (config.train_fraction * 100.0).round() as u32
+    );
+    for (ext, content) in [
+        ("json", report.to_json()),
+        ("md", report.to_markdown()),
+        ("html", report.to_html()),
+    ] {
+        let path = Path::new(dir).join(format!("{stem}.{ext}"));
+        fs::write(&path, content).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    session.info(&format!("wrote {dir}/{stem}.{{json,md,html}}"));
+    Ok(())
+}
+
+/// `autorecover explain` — per-state action rankings of a policy file,
+/// with near-tie and low-visit confidence flags.
+pub fn explain(args: &Args, session: &Session) -> Result<(), String> {
+    let policy_path = args
+        .positional(0)
+        .ok_or("expected a policy file argument")?;
+    let options = ExplainOptions {
+        min_visits: args.flag_or("min-visits", ExplainOptions::default().min_visits)?,
+        near_tie_fraction: args.flag_or("tie", ExplainOptions::default().near_tie_fraction)?,
+    };
+    let json: bool = args.flag_or("json", false)?;
+    let text =
+        fs::read_to_string(policy_path).map_err(|e| format!("reading {policy_path}: {e}"))?;
+    let mut symptoms = SymptomCatalog::default();
+    let trained: TrainedPolicy =
+        policy_from_text(&text, &mut symptoms).map_err(|e| e.to_string())?;
+    session.debug(&format!(
+        "loaded {policy_path}: {} state-action entries",
+        trained.q().len()
+    ));
+    let explanation = explain_policy(&trained, &symptoms, options);
+    if json {
+        println!("{}", explanation.to_json().render());
+    } else {
+        print!("{}", explanation.to_text());
+    }
+    Ok(())
+}
+
+/// `autorecover diff-policy` — structured comparison of two policy files:
+/// states added/removed and decisions flipped.
+pub fn diff_policy(args: &Args, session: &Session) -> Result<(), String> {
+    let old_path = args
+        .positional(0)
+        .ok_or("expected OLD and NEW policy file arguments")?;
+    let new_path = args
+        .positional(1)
+        .ok_or("expected OLD and NEW policy file arguments")?;
+    let json: bool = args.flag_or("json", false)?;
+    // One shared catalog so identical symptom names in both files resolve
+    // to the same ids and states line up.
+    let mut symptoms = SymptomCatalog::default();
+    let old_text = fs::read_to_string(old_path).map_err(|e| format!("reading {old_path}: {e}"))?;
+    let old = policy_from_text(&old_text, &mut symptoms).map_err(|e| e.to_string())?;
+    let new_text = fs::read_to_string(new_path).map_err(|e| format!("reading {new_path}: {e}"))?;
+    let new = policy_from_text(&new_text, &mut symptoms).map_err(|e| e.to_string())?;
+    session.debug(&format!(
+        "comparing {} old vs {} new entries",
+        old.q().len(),
+        new.q().len()
+    ));
+    let diff = diff_policies(&old, &new, &symptoms);
+    if json {
+        println!("{}", diff.to_json().render());
+    } else {
+        print!("{}", diff.to_text());
     }
     Ok(())
 }
@@ -471,6 +604,3 @@ final window MTTR is {:.1}% of the baseline window",
     }
     Ok(())
 }
-
-#[allow(unused)]
-fn unused_trained_policy_guard(_: &TrainedPolicy) {}

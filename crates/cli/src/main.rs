@@ -48,9 +48,23 @@ COMMANDS:
       match the seed of the log the policy was trained on (it selects
       the fault catalog).
 
-  report LOG [--method standard|tree] [--threads N]
+  report LOG [--method standard|tree] [--threads N] [--fast true]
+             [--diagnostics-out DIR]
       The full paper evaluation on one log: all four train/test splits,
       totals, and coverage (paper Figures 8-12 in one table).
+      --diagnostics-out writes one deterministic run report per split
+      (JSON + Markdown + HTML): convergence traces, policy decisions
+      with confidence flags, and the evaluation summary. --fast true
+      swaps in the quick trainer preset (for CI and smoke runs).
+
+  explain POLICY [--min-visits K] [--tie F] [--json true]
+      Per-state action rankings of a trained policy file: learned costs,
+      the winner's margin, near-ties (runner-up within fraction F), and
+      decisions backed by fewer than K Eq. 6 updates.
+
+  diff-policy OLD NEW [--json true]
+      Structured diff between two policy files: states added/removed and
+      states whose chosen action flipped, with both costs.
 
   loop [--windows N] [--scale F] [--seed N]
       The paper's Figure 1 as a running system: alternate observation
@@ -101,6 +115,8 @@ fn main() -> ExitCode {
         "evaluate" => commands::evaluate(&parsed, &session),
         "simulate" => commands::simulate(&parsed, &session),
         "report" => commands::report(&parsed, &session),
+        "explain" => commands::explain(&parsed, &session),
+        "diff-policy" => commands::diff_policy(&parsed, &session),
         "loop" => commands::continuous_loop(&parsed, &session),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

@@ -424,3 +424,135 @@ fn train_rejects_unknown_method() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown --method"));
     std::fs::remove_file(&log).ok();
 }
+
+#[test]
+fn explain_and_diff_policy_commands() {
+    let log = tmp("exp.log");
+    let policy = tmp("exp.policy");
+    generate_log(&log);
+    let out = bin()
+        .args([
+            "train",
+            log.to_str().unwrap(),
+            "--out",
+            policy.to_str().unwrap(),
+            "--top",
+            "4",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = bin()
+        .args(["explain", policy.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("states,"), "{text}");
+    // Text-format policies carry no visit counts; explain must say so
+    // instead of flagging every state as low-visits.
+    assert!(text.contains("visit counts unavailable"), "{text}");
+
+    let out = bin()
+        .args(["explain", policy.to_str().unwrap(), "--json", "true"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout).to_string();
+    assert_json_object(json.trim());
+    assert!(json.starts_with("{\"visits_available\":false"), "{json}");
+
+    // A policy diffed against itself is empty.
+    let out = bin()
+        .args([
+            "diff-policy",
+            policy.to_str().unwrap(),
+            policy.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.starts_with("0 added, 0 removed, 0 flipped"), "{text}");
+
+    let out = bin()
+        .args([
+            "diff-policy",
+            policy.to_str().unwrap(),
+            policy.to_str().unwrap(),
+            "--json",
+            "true",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout).to_string();
+    assert_json_object(json.trim());
+    assert!(
+        json.contains("\"schema\":\"autorecover.policy-diff.v1\""),
+        "{json}"
+    );
+
+    std::fs::remove_file(&log).ok();
+    std::fs::remove_file(&policy).ok();
+}
+
+#[test]
+fn report_diagnostics_out_writes_run_reports() {
+    let log = tmp("diag.log");
+    let dir = tmp("diag-out");
+    generate_log(&log);
+    let out = bin()
+        .args([
+            "report",
+            log.to_str().unwrap(),
+            "--fast",
+            "true",
+            "--top",
+            "4",
+            "--threads",
+            "2",
+            "--diagnostics-out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // One report per training fraction, in three renderings each.
+    for fraction in ["20", "40", "60", "80"] {
+        for ext in ["json", "md", "html"] {
+            let path = dir.join(format!("run-report-f{fraction}.{ext}"));
+            assert!(path.is_file(), "missing {}", path.display());
+        }
+    }
+    let json = std::fs::read_to_string(dir.join("run-report-f40.json")).unwrap();
+    assert_json_object(json.trim());
+    assert!(
+        json.starts_with("{\"schema\":\"autorecover.run-report.v1\""),
+        "{json}"
+    );
+    assert!(json.contains("\"q_delta_curve\""), "{json}");
+    let md = std::fs::read_to_string(dir.join("run-report-f40.md")).unwrap();
+    assert!(md.contains("# Training run report"), "{md}");
+    assert!(md.contains("| trained |"), "{md}");
+
+    std::fs::remove_file(&log).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}

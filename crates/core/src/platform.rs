@@ -263,7 +263,7 @@ impl SimulationPlatform {
             }
             CostEstimation::AverageOnly => (self.average_cost(et, action, cured), false),
         };
-        self.observer.platform_replay(cured, actual);
+        self.observer.platform_replay(cured, cost, actual);
         AttemptOutcome { cured, cost }
     }
 

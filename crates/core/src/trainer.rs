@@ -144,7 +144,7 @@ impl TrainerConfig {
 
     /// A compact description of the temperature schedule, e.g.
     /// `geometric(t0=300000, decay=0.99988, floor=5)`.
-    fn schedule_summary(&self) -> String {
+    pub fn schedule_summary(&self) -> String {
         match self.learning.schedule {
             TemperatureSchedule::Geometric { t0, decay, floor } => {
                 format!("geometric(t0={t0}, decay={decay}, floor={floor})")
@@ -528,8 +528,10 @@ impl<'a> OfflineTrainer<'a> {
         self.train(&types)
     }
 
-    /// The observer-facing label of an error type, e.g. `type3`.
-    pub(crate) fn type_label(et: ErrorType) -> String {
+    /// The observer-facing label of an error type, e.g. `type3`. This is
+    /// the key under which `training_started`/`training_finished` hooks
+    /// and the diagnostics traces identify a type.
+    pub fn type_label(et: ErrorType) -> String {
         format!("type{}", et.symptom().index())
     }
 

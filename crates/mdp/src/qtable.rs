@@ -170,6 +170,43 @@ impl<S: Eq + Hash + Clone, A: Eq + Hash + Copy> QTable<S, A> {
     pub fn iter(&self) -> impl Iterator<Item = (&(S, A), f64, u64)> {
         self.entries.iter().map(|(k, e)| (k, e.value, e.visits))
     }
+
+    /// Like [`QTable::ranked_actions`] but carrying the visit count of
+    /// each entry — the introspection view diagnostics build per-state
+    /// explanations from. Sorted by ascending Q-value; ties keep the
+    /// order of `actions`.
+    pub fn ranked_entries(&self, s: &S, actions: &[A]) -> Vec<(A, f64, u64)> {
+        let mut out: Vec<(A, f64, u64)> = actions
+            .iter()
+            .filter_map(|&a| {
+                self.entries
+                    .get(&(s.clone(), a))
+                    .map(|e| (a, e.value, e.visits))
+            })
+            .collect();
+        out.sort_by(|x, y| x.1.partial_cmp(&y.1).expect("Q values are finite"));
+        out
+    }
+
+    /// Groups the table by state: every known state mapped to its
+    /// `(action, value, visits)` entries (in arbitrary action order —
+    /// rank with [`QTable::ranked_entries`] if order matters).
+    pub fn by_state(&self) -> HashMap<S, Vec<(A, f64, u64)>> {
+        let mut out: HashMap<S, Vec<(A, f64, u64)>> = HashMap::new();
+        for ((s, a), e) in &self.entries {
+            out.entry(s.clone())
+                .or_default()
+                .push((*a, e.value, e.visits));
+        }
+        out
+    }
+
+    /// Total Eq. 6 updates received across all entries. Zero for tables
+    /// rebuilt from a persisted policy file (which stores values only),
+    /// which is how consumers detect that visit counts are unavailable.
+    pub fn total_visits(&self) -> u64 {
+        self.entries.values().map(|e| e.visits).sum()
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +300,41 @@ mod tests {
         q.set(0, 0, 99.0);
         assert_eq!(q.visits(&0, 0), 2);
         assert_eq!(q.value(&0, 0), Some(99.0));
+    }
+
+    #[test]
+    fn ranked_entries_carry_visits() {
+        let mut q: QTable<u32, u8> = QTable::new();
+        q.update(0, 0, 3.0);
+        q.update(0, 0, 3.0);
+        q.update(0, 1, 1.0);
+        let ranked = q.ranked_entries(&0, &[0, 1, 2]);
+        assert_eq!(ranked, vec![(1, 1.0, 1), (0, 3.0, 2)]);
+        assert!(q.ranked_entries(&9, &[0, 1]).is_empty());
+    }
+
+    #[test]
+    fn by_state_groups_entries() {
+        let mut q: QTable<u32, u8> = QTable::new();
+        q.update(0, 0, 1.0);
+        q.update(0, 1, 2.0);
+        q.update(7, 0, 3.0);
+        let grouped = q.by_state();
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[&0].len(), 2);
+        assert_eq!(grouped[&7], vec![(0, 3.0, 1)]);
+    }
+
+    #[test]
+    fn total_visits_distinguishes_trained_from_loaded_tables() {
+        let mut trained: QTable<u32, u8> = QTable::new();
+        trained.update(0, 0, 1.0);
+        trained.update(0, 0, 2.0);
+        assert_eq!(trained.total_visits(), 2);
+        // `set` (the persistence path) leaves visits untouched.
+        let mut loaded: QTable<u32, u8> = QTable::new();
+        loaded.set(0, 0, 1.5);
+        assert_eq!(loaded.total_visits(), 0);
     }
 
     #[test]

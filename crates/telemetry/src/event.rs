@@ -205,8 +205,14 @@ pub fn snapshot_to_json(snapshot: &crate::MetricsSnapshot) -> String {
 }
 
 /// A line-buffered JSONL event writer, safe to share across threads.
+///
+/// I/O failures never propagate into the observed pipeline: writes keep
+/// succeeding from the caller's point of view, and the first underlying
+/// error is parked where [`JsonlSink::last_error_kind`] can surface it
+/// (the CLI reports it after the run instead of aborting mid-training).
 pub struct JsonlSink {
     out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+    error: Mutex<Option<io::Error>>,
 }
 
 impl std::fmt::Debug for JsonlSink {
@@ -226,11 +232,13 @@ impl JsonlSink {
     pub fn from_writer(writer: Box<dyn Write + Send>) -> Self {
         JsonlSink {
             out: Mutex::new(BufWriter::new(writer)),
+            error: Mutex::new(None),
         }
     }
 
-    /// Writes one event as one line. I/O errors are deliberately
-    /// swallowed: telemetry must never fail the pipeline it observes.
+    /// Writes one event as one line. I/O errors are deliberately not
+    /// returned: telemetry must never fail the pipeline it observes. The
+    /// first error is retained for [`JsonlSink::last_error_kind`].
     pub fn write(&self, event: &Event) {
         self.write_line(&event.to_json());
     }
@@ -238,15 +246,37 @@ impl JsonlSink {
     /// Writes one pre-serialized JSON line.
     pub fn write_line(&self, json: &str) {
         if let Ok(mut out) = self.out.lock() {
-            let _ = out.write_all(json.as_bytes());
-            let _ = out.write_all(b"\n");
+            let result = out
+                .write_all(json.as_bytes())
+                .and_then(|()| out.write_all(b"\n"));
+            if let Err(e) = result {
+                self.park_error(e);
+            }
         }
     }
 
     /// Flushes buffered lines to the underlying writer.
     pub fn flush(&self) {
         if let Ok(mut out) = self.out.lock() {
-            let _ = out.flush();
+            if let Err(e) = out.flush() {
+                self.park_error(e);
+            }
+        }
+    }
+
+    /// The kind of the first I/O error this sink ran into, if any.
+    /// Writes after a failure still buffer normally; this only reports
+    /// that at least one line may be missing from the output.
+    pub fn last_error_kind(&self) -> Option<io::ErrorKind> {
+        self.error
+            .lock()
+            .ok()
+            .and_then(|slot| slot.as_ref().map(io::Error::kind))
+    }
+
+    fn park_error(&self, e: io::Error) {
+        if let Ok(mut slot) = self.error.lock() {
+            slot.get_or_insert(e);
         }
     }
 }
@@ -284,5 +314,86 @@ mod tests {
     fn control_chars_are_escaped() {
         let e = Event::new("x").with("s", "a\nb\u{1}c");
         assert_eq!(e.to_json(), "{\"type\":\"x\",\"s\":\"a\\nb\\u0001c\"}");
+    }
+
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// Records whether it was flushed and how many bytes were written.
+    struct ProbeWriter {
+        flushed: Arc<AtomicBool>,
+        written: Arc<AtomicUsize>,
+    }
+
+    impl Write for ProbeWriter {
+        fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+            self.written.fetch_add(data.len(), Ordering::SeqCst);
+            Ok(data.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            self.flushed.store(true, Ordering::SeqCst);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn dropping_the_sink_flushes_buffered_lines() {
+        let flushed = Arc::new(AtomicBool::new(false));
+        let written = Arc::new(AtomicUsize::new(0));
+        let sink = JsonlSink::from_writer(Box::new(ProbeWriter {
+            flushed: flushed.clone(),
+            written: written.clone(),
+        }));
+        sink.write(&Event::new("x").with("k", 1u64));
+        // One short line sits in the BufWriter; nothing reached the
+        // underlying writer yet.
+        assert_eq!(written.load(Ordering::SeqCst), 0);
+        assert!(!flushed.load(Ordering::SeqCst));
+        drop(sink);
+        assert!(flushed.load(Ordering::SeqCst), "drop must flush");
+        assert_eq!(
+            written.load(Ordering::SeqCst),
+            "{\"type\":\"x\",\"k\":1}\n".len()
+        );
+    }
+
+    /// Fails every write and flush with the given kind.
+    struct FailingWriter(io::ErrorKind);
+
+    impl Write for FailingWriter {
+        fn write(&mut self, _data: &[u8]) -> io::Result<usize> {
+            Err(io::Error::new(self.0, "injected"))
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Err(io::Error::new(self.0, "injected"))
+        }
+    }
+
+    #[test]
+    fn write_errors_are_parked_not_raised() {
+        let sink = JsonlSink::from_writer(Box::new(FailingWriter(io::ErrorKind::StorageFull)));
+        assert_eq!(sink.last_error_kind(), None);
+        // Writing and flushing never panic and never return an error to
+        // the observed pipeline...
+        sink.write(&Event::new("x"));
+        sink.flush();
+        // ...but the first failure is queryable afterwards.
+        assert_eq!(sink.last_error_kind(), Some(io::ErrorKind::StorageFull));
+        // Later writes keep the first error, not the latest.
+        sink.write_line("{}");
+        sink.flush();
+        assert_eq!(sink.last_error_kind(), Some(io::ErrorKind::StorageFull));
+    }
+
+    #[test]
+    fn large_writes_park_errors_without_flush() {
+        // A line larger than the BufWriter's buffer bypasses buffering
+        // and hits the failing writer inside write_line itself.
+        let sink = JsonlSink::from_writer(Box::new(FailingWriter(io::ErrorKind::BrokenPipe)));
+        let big = "x".repeat(64 * 1024);
+        sink.write_line(&big);
+        assert_eq!(sink.last_error_kind(), Some(io::ErrorKind::BrokenPipe));
     }
 }

@@ -371,14 +371,15 @@ impl TrainingObserver for MetricsObserver {
         );
     }
 
-    fn platform_replay(&self, cured: bool, actual_cost: bool) {
+    fn platform_replay(&self, cured: bool, actual_cost: f64, from_log: bool) {
+        let _ = actual_cost;
         self.replay_attempts.inc();
         if cured {
             self.replay_cured.inc();
         } else {
             self.replay_failed.inc();
         }
-        if actual_cost {
+        if from_log {
             self.cost_cache_hits.inc();
         } else {
             self.cost_cache_misses.inc();
@@ -409,7 +410,7 @@ mod tests {
         }
         let obs = t.observer();
         obs.sweep_complete(1);
-        obs.platform_replay(true, false);
+        obs.platform_replay(true, 10.0, false);
         assert!(t.snapshot().is_none());
     }
 
@@ -448,8 +449,8 @@ mod tests {
             obs.convergence_check(sweep, sweep, false);
         }
         obs.training_finished("type3", 5, true);
-        obs.platform_replay(true, true);
-        obs.platform_replay(false, false);
+        obs.platform_replay(true, 120.0, true);
+        obs.platform_replay(false, 30.0, false);
         obs.replay_end(true, 2, 99.0);
         let snap = t.snapshot().expect("enabled");
         assert_eq!(snap.counters["train.sweeps"], 5);

@@ -281,6 +281,43 @@ mod tests {
     }
 
     #[test]
+    fn histogram_boundary_values_land_exactly_once() {
+        // Every value equal to a bound goes to that bound's bucket, the
+        // next representable float above it to the following bucket —
+        // including the edges of the default duration bounds.
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("edge", &DURATION_MS_BOUNDS);
+        for &b in &DURATION_MS_BOUNDS {
+            h.record(b);
+            h.record(f64::from_bits(b.to_bits() + 1));
+        }
+        let snap = registry.snapshot().histograms["edge"].clone();
+        // Bucket 0 holds only its own bound; every later bucket holds
+        // its bound plus the nudged-up value of the previous bound; the
+        // overflow bucket holds the value just above the last bound.
+        let n = DURATION_MS_BOUNDS.len();
+        assert_eq!(snap.buckets[0], 1);
+        for i in 1..n {
+            assert_eq!(snap.buckets[i], 2, "bucket {i}");
+        }
+        assert_eq!(snap.buckets[n], 1, "overflow bucket");
+        assert_eq!(snap.count, 2 * n as u64);
+    }
+
+    #[test]
+    fn histogram_extreme_values_hit_first_and_overflow_buckets() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("ex", &[1.0, 10.0]);
+        h.record(0.0);
+        h.record(-5.0);
+        h.record(f64::MAX);
+        let snap = registry.snapshot().histograms["ex"].clone();
+        assert_eq!(snap.buckets, vec![2, 0, 1]);
+        assert_eq!(snap.count, 3);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
     fn snapshots_are_deterministically_ordered_and_repeatable() {
         let registry = MetricsRegistry::new();
         // Register in non-lexicographic order.

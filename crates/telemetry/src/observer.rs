@@ -54,11 +54,12 @@ pub trait TrainingObserver: Send + Sync {
     }
 
     /// One simulated repair attempt was replayed. `cured` is the H1/H2
-    /// verdict; `actual_cost` tells whether the cost came from the
+    /// verdict, `actual_cost` the downtime cost the platform charged for
+    /// the attempt, and `from_log` tells whether that cost came from the
     /// logged occurrence (cache hit) or fell back to the per-type
     /// average (cache miss).
-    fn platform_replay(&self, cured: bool, actual_cost: bool) {
-        let _ = (cured, actual_cost);
+    fn platform_replay(&self, cured: bool, actual_cost: f64, from_log: bool) {
+        let _ = (cured, actual_cost, from_log);
     }
 
     /// A full policy replay of one process ended: `handled` within the
@@ -107,6 +108,76 @@ impl ObserverHandle {
     pub fn is_attached(&self) -> bool {
         self.0.is_some()
     }
+
+    /// A handle forwarding every hook to both `self` and `other`.
+    ///
+    /// Detached sides are elided, so fanning out with a detached handle
+    /// returns the other side unchanged (no extra indirection on the
+    /// per-sweep path). This is how the diagnostics recorder rides along
+    /// with the metrics observer on one trainer.
+    pub fn fanout(&self, other: &ObserverHandle) -> ObserverHandle {
+        match (self.is_attached(), other.is_attached()) {
+            (false, _) => other.clone(),
+            (_, false) => self.clone(),
+            (true, true) => ObserverHandle::attached(std::sync::Arc::new(FanoutObserver {
+                first: self.clone(),
+                second: other.clone(),
+            })),
+        }
+    }
+}
+
+/// Forwards every hook to two downstream handles, in order.
+struct FanoutObserver {
+    first: ObserverHandle,
+    second: ObserverHandle,
+}
+
+impl TrainingObserver for FanoutObserver {
+    fn training_started(&self, error_type: &str, processes: usize) {
+        self.first.training_started(error_type, processes);
+        self.second.training_started(error_type, processes);
+    }
+
+    fn temperature_update(&self, sweep: u64, temperature: f64) {
+        self.first.temperature_update(sweep, temperature);
+        self.second.temperature_update(sweep, temperature);
+    }
+
+    fn episode_end(&self, sweep: u64, steps: usize, cost: f64) {
+        self.first.episode_end(sweep, steps, cost);
+        self.second.episode_end(sweep, steps, cost);
+    }
+
+    fn q_delta(&self, sweep: u64, max_delta: f64) {
+        self.first.q_delta(sweep, max_delta);
+        self.second.q_delta(sweep, max_delta);
+    }
+
+    fn sweep_complete(&self, sweep: u64) {
+        self.first.sweep_complete(sweep);
+        self.second.sweep_complete(sweep);
+    }
+
+    fn convergence_check(&self, sweep: u64, calm_sweeps: u64, converged: bool) {
+        self.first.convergence_check(sweep, calm_sweeps, converged);
+        self.second.convergence_check(sweep, calm_sweeps, converged);
+    }
+
+    fn training_finished(&self, error_type: &str, sweeps: u64, converged: bool) {
+        self.first.training_finished(error_type, sweeps, converged);
+        self.second.training_finished(error_type, sweeps, converged);
+    }
+
+    fn platform_replay(&self, cured: bool, actual_cost: f64, from_log: bool) {
+        self.first.platform_replay(cured, actual_cost, from_log);
+        self.second.platform_replay(cured, actual_cost, from_log);
+    }
+
+    fn replay_end(&self, handled: bool, attempts: usize, total_cost: f64) {
+        self.first.replay_end(handled, attempts, total_cost);
+        self.second.replay_end(handled, attempts, total_cost);
+    }
 }
 
 impl TrainingObserver for ObserverHandle {
@@ -152,9 +223,9 @@ impl TrainingObserver for ObserverHandle {
         }
     }
 
-    fn platform_replay(&self, cured: bool, actual_cost: bool) {
+    fn platform_replay(&self, cured: bool, actual_cost: f64, from_log: bool) {
         if let Some(observer) = &self.0 {
-            observer.platform_replay(cured, actual_cost);
+            observer.platform_replay(cured, actual_cost, from_log);
         }
     }
 
@@ -168,6 +239,8 @@ impl TrainingObserver for ObserverHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
 
     #[test]
     fn default_hooks_are_callable_noops() {
@@ -179,7 +252,53 @@ mod tests {
         obs.sweep_complete(1);
         obs.convergence_check(1, 5, false);
         obs.training_finished("type0", 1, false);
-        obs.platform_replay(true, true);
+        obs.platform_replay(true, 42.0, true);
         obs.replay_end(true, 2, 99.0);
+    }
+
+    #[derive(Default)]
+    struct CountingObserver {
+        hooks: AtomicU64,
+        last_cost_millis: AtomicU64,
+    }
+
+    impl TrainingObserver for CountingObserver {
+        fn sweep_complete(&self, _sweep: u64) {
+            self.hooks.fetch_add(1, Ordering::Relaxed);
+        }
+
+        fn platform_replay(&self, _cured: bool, actual_cost: f64, _from_log: bool) {
+            self.hooks.fetch_add(1, Ordering::Relaxed);
+            self.last_cost_millis
+                .store((actual_cost * 1e3) as u64, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn fanout_forwards_to_both_sides() {
+        let a = Arc::new(CountingObserver::default());
+        let b = Arc::new(CountingObserver::default());
+        let handle =
+            ObserverHandle::attached(a.clone()).fanout(&ObserverHandle::attached(b.clone()));
+        handle.sweep_complete(1);
+        handle.platform_replay(true, 1.5, false);
+        assert_eq!(a.hooks.load(Ordering::Relaxed), 2);
+        assert_eq!(b.hooks.load(Ordering::Relaxed), 2);
+        // The replayed cost reaches each side unchanged.
+        assert_eq!(a.last_cost_millis.load(Ordering::Relaxed), 1500);
+        assert_eq!(b.last_cost_millis.load(Ordering::Relaxed), 1500);
+    }
+
+    #[test]
+    fn fanout_with_detached_side_elides_the_wrapper() {
+        let a = Arc::new(CountingObserver::default());
+        let attached = ObserverHandle::attached(a.clone());
+        assert!(attached.fanout(&ObserverHandle::none()).is_attached());
+        assert!(ObserverHandle::none().fanout(&attached).is_attached());
+        assert!(!ObserverHandle::none()
+            .fanout(&ObserverHandle::none())
+            .is_attached());
+        ObserverHandle::none().fanout(&attached).sweep_complete(7);
+        assert_eq!(a.hooks.load(Ordering::Relaxed), 1);
     }
 }

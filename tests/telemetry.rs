@@ -7,9 +7,11 @@ use std::sync::{Arc, Mutex};
 
 use recovery_core::experiment::{ExperimentContext, TestRun, TestRunConfig};
 use recovery_core::persist::policy_to_text;
+use recovery_core::platform::{CostEstimation, SimulationPlatform};
 use recovery_core::selection_tree::{SelectionTreeConfig, SelectionTreeTrainer};
 use recovery_core::trainer::{OfflineTrainer, TrainerConfig};
-use recovery_simlog::{GeneratorConfig, LogGenerator};
+use recovery_diagnostics::DiagnosticsRecorder;
+use recovery_simlog::{GeneratorConfig, LogGenerator, RepairAction};
 use recovery_telemetry::{ObserverHandle, Telemetry, TrainingObserver};
 
 fn small_context() -> ExperimentContext {
@@ -86,23 +88,93 @@ fn observation_does_not_change_trained_policies() {
         generated.log.symptoms().clone()
     };
 
-    let train_policy = |telemetry: &Telemetry| {
-        let trainer = OfflineTrainer::new(train, TrainerConfig::fast())
-            .with_observer(telemetry.observer_handle());
+    let train_policy = |observer: ObserverHandle| {
+        let trainer = OfflineTrainer::new(train, TrainerConfig::fast()).with_observer(observer);
         let tree = SelectionTreeTrainer::new(&trainer, SelectionTreeConfig::default());
         let (policy, stats) = tree.train(&ctx.types);
         (policy_to_text(&policy, &symptoms), stats)
     };
-    let (unobserved, stats_a) = train_policy(&Telemetry::disabled());
-    let (observed, stats_b) = train_policy(&Telemetry::new());
+    let (unobserved, stats_a) = train_policy(Telemetry::disabled().observer_handle());
+    let (observed, stats_b) = train_policy(Telemetry::new().observer_handle());
+    // Diagnostics ride the same seam, fanned out next to telemetry — the
+    // purity contract covers the composed handle too.
+    let recorder = DiagnosticsRecorder::new();
+    let telemetry = Telemetry::new();
+    let (diagnosed, stats_c) = train_policy(telemetry.observer_handle().fanout(&recorder.handle()));
     assert_eq!(
         unobserved, observed,
         "attaching an observer changed the trained policy bytes"
     );
+    assert_eq!(
+        unobserved, diagnosed,
+        "attaching a diagnostics recorder changed the trained policy bytes"
+    );
+    assert!(
+        !recorder.traces().is_empty(),
+        "the recorder saw no training while the policy was produced"
+    );
     assert_eq!(stats_a.len(), stats_b.len());
+    assert_eq!(stats_a.len(), stats_c.len());
     for (a, b) in stats_a.iter().zip(&stats_b) {
         assert_eq!(a.sweeps, b.sweeps);
         assert_eq!(a.converged, b.converged);
+    }
+}
+
+/// Captures every `platform_replay` hook verbatim.
+#[derive(Default)]
+struct ReplayCapture {
+    seen: Mutex<Vec<(bool, f64, bool)>>,
+}
+
+impl TrainingObserver for ReplayCapture {
+    fn platform_replay(&self, cured: bool, actual_cost: f64, from_log: bool) {
+        self.seen
+            .lock()
+            .unwrap()
+            .push((cured, actual_cost, from_log));
+    }
+}
+
+#[test]
+fn platform_replay_forwards_the_charged_cost() {
+    let mut generated = LogGenerator::new(GeneratorConfig::small()).generate();
+    let processes = generated.log.split_processes();
+    assert!(!processes.is_empty());
+
+    for estimation in [CostEstimation::PreferActual, CostEstimation::AverageOnly] {
+        let capture = Arc::new(ReplayCapture::default());
+        let platform = SimulationPlatform::from_processes(&processes, estimation)
+            .with_observer(ObserverHandle::attached(capture.clone()));
+        let mut outcomes = Vec::new();
+        for truth in processes.iter().take(20) {
+            for action in [
+                RepairAction::TryNop,
+                RepairAction::Reboot,
+                RepairAction::Rma,
+            ] {
+                outcomes.push(platform.attempt(truth, action, 0));
+            }
+        }
+        let seen = capture.seen.lock().unwrap();
+        assert_eq!(seen.len(), outcomes.len());
+        for ((cured, cost, from_log), outcome) in seen.iter().zip(&outcomes) {
+            assert_eq!(*cured, outcome.cured);
+            assert_eq!(
+                *cost, outcome.cost,
+                "hook cost must be the exact charged cost"
+            );
+            assert!(cost.is_finite() && *cost > 0.0);
+            if estimation == CostEstimation::AverageOnly {
+                assert!(!from_log, "average-only mode never reads the log cost");
+            }
+        }
+        if estimation == CostEstimation::PreferActual {
+            assert!(
+                seen.iter().any(|(_, _, from_log)| *from_log),
+                "prefer-actual replays of logged processes must hit the log"
+            );
+        }
     }
 }
 
