@@ -1,0 +1,298 @@
+//! Sharded ingestion vs the sequential parser, plus the allocation-free
+//! replay hot path.
+//!
+//! Two measurements back the perf claims of the ingestion work:
+//!
+//! * **Ingestion throughput.** `recovery_core::ingest::ingest` (catalog
+//!   prescan + parse shards + split shards) against the sequential
+//!   `RecoveryLog::from_text` + `split_processes` path, asserting the
+//!   outputs are identical before timing anything. In sampling mode
+//!   (`cargo bench -- --bench`) the comparison is written to
+//!   `BENCH_ingest.json` at the workspace root.
+//! * **Replay allocations.** A counting global allocator measures heap
+//!   allocations per replayed attempt for the cached
+//!   (`SimulationPlatform::attempt_cached`) and uncached
+//!   (`SimulationPlatform::attempt`) paths; the cached path must perform
+//!   none.
+//!
+//! Setting `INGEST_DUMP=<path>` additionally writes a deterministic
+//! rendering of the extracted processes, so CI can diff runs at
+//! different `RECOVERY_THREADS` for byte identity.
+//!
+//! Like `parallel.rs`, the parallel arm never runs 1-vs-1: on a
+//! single-core host `available_parallelism` is 1 and the pool at one
+//! worker would record its own overhead as a bogus comparison, so the
+//! arm floors at 2 workers and the JSON records the host's parallelism.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use recovery_bench::{scale_from_args, threads_from_args};
+use recovery_core::ingest;
+use recovery_core::parallel::WorkerPool;
+use recovery_core::platform::{CostEstimation, ReplayCache, SimulationPlatform};
+use recovery_simlog::{GeneratorConfig, LogGenerator, RecoveryLog, RecoveryProcess, RepairAction};
+use recovery_telemetry::Telemetry;
+
+/// Counts heap allocations so the replay microbenchmark can certify that
+/// the cached hot path performs none per attempt.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn sample_text(scale: f64) -> String {
+    LogGenerator::new(GeneratorConfig::paper_scale(scale))
+        .generate()
+        .log
+        .to_text()
+}
+
+fn sequential_ingest(text: &str) -> (RecoveryLog, Vec<RecoveryProcess>) {
+    let mut log = RecoveryLog::from_text(text).expect("bench log parses");
+    let processes = log.split_processes();
+    (log, processes)
+}
+
+fn sharded_ingest(text: &str, threads: usize) -> (RecoveryLog, Vec<RecoveryProcess>) {
+    let pool = WorkerPool::new(threads);
+    ingest::ingest(text, &pool, &Telemetry::disabled()).expect("bench log ingests")
+}
+
+/// One line per process with every field resolved: any ingestion
+/// divergence between thread counts shows up as a byte difference.
+fn dump_processes(log: &RecoveryLog, processes: &[RecoveryProcess]) -> String {
+    let mut out = String::new();
+    for p in processes {
+        out.push_str(&format!(
+            "{}\t{}\t{}",
+            p.machine().index(),
+            p.start(),
+            p.success_time()
+        ));
+        for &(t, s) in p.symptoms() {
+            out.push_str(&format!("\t{t}:{}", log.symptoms().name(s).unwrap_or("?")));
+        }
+        for a in p.actions() {
+            out.push_str(&format!("\t{}:{}", a.time, a.action));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    // A small fixed scale keeps the sampling-mode group brisk; the
+    // recorded JSON comparison uses the full `--scale` workload.
+    let text = sample_text(0.05);
+    let available = WorkerPool::available().threads();
+    let mut group = c.benchmark_group("ingest");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| std::hint::black_box(sequential_ingest(&text)))
+    });
+    group.bench_function("sharded_4_workers", |b| {
+        b.iter(|| std::hint::black_box(sharded_ingest(&text, 4)))
+    });
+    if available > 1 && available != 4 {
+        group.bench_function(&format!("sharded_{available}_threads"), |b| {
+            b.iter(|| std::hint::black_box(sharded_ingest(&text, available)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+
+/// Times `f` a few times and returns the best wall-clock in milliseconds.
+fn best_of_ms(reps: u32, mut f: impl FnMut()) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Measures allocations and wall-clock per attempt over one replay
+/// schedule (every cache × action × occurrences 0..3).
+struct ReplayMeasure {
+    attempts: u64,
+    allocs_per_attempt: f64,
+    ns_per_attempt: f64,
+}
+
+fn measure_replay(
+    rounds: u64,
+    caches_len: u64,
+    mut schedule: impl FnMut() -> f64,
+) -> ReplayMeasure {
+    // Warm-up pass outside the counted window.
+    std::hint::black_box(schedule());
+    let attempts = rounds * caches_len * RepairAction::COUNT as u64 * 3;
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    let mut acc = 0.0;
+    for _ in 0..rounds {
+        acc += schedule();
+    }
+    let elapsed = start.elapsed();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    std::hint::black_box(acc);
+    ReplayMeasure {
+        attempts,
+        allocs_per_attempt: allocs as f64 / attempts as f64,
+        ns_per_attempt: elapsed.as_nanos() as f64 / attempts as f64,
+    }
+}
+
+fn replay_microbench(processes: &[RecoveryProcess]) -> (ReplayMeasure, ReplayMeasure) {
+    let platform = SimulationPlatform::from_processes(processes, CostEstimation::PreferActual);
+    let truth: Vec<&RecoveryProcess> = processes.iter().take(64).collect();
+    let caches: Vec<ReplayCache> = truth.iter().map(|p| platform.replay_cache(p)).collect();
+    const ROUNDS: u64 = 200;
+
+    let cached = measure_replay(ROUNDS, caches.len() as u64, || {
+        let mut acc = 0.0;
+        for cache in &caches {
+            for action in RepairAction::ALL {
+                for occurrence in 0..3 {
+                    acc += platform.attempt_cached(cache, action, occurrence).cost;
+                }
+            }
+        }
+        acc
+    });
+    let uncached = measure_replay(ROUNDS, truth.len() as u64, || {
+        let mut acc = 0.0;
+        for p in &truth {
+            for action in RepairAction::ALL {
+                for occurrence in 0..3 {
+                    acc += platform.attempt(p, action, occurrence).cost;
+                }
+            }
+        }
+        acc
+    });
+    (cached, uncached)
+}
+
+fn main() {
+    benches();
+    // `cargo test` runs bench binaries without `--bench`; only the real
+    // bench invocation measures and records the comparison file.
+    if !std::env::args().any(|a| a == "--bench") {
+        return;
+    }
+    let scale = scale_from_args(0.25);
+    let text = sample_text(scale);
+    let available = WorkerPool::available().threads();
+    // The parallel arm must actually fan out: never fewer than 2 workers.
+    let pool_threads = available.max(2);
+
+    // Correctness before speed: the sharded output must be identical.
+    let (log, processes) = sequential_ingest(&text);
+    for threads in [2, pool_threads] {
+        let (sharded_log, sharded) = sharded_ingest(&text, threads);
+        assert!(
+            sharded_log == log && sharded == processes,
+            "sharded ingestion at {threads} threads diverged from sequential"
+        );
+    }
+    if let Ok(path) = std::env::var("INGEST_DUMP") {
+        // Dump the *sharded* output at the requested worker count
+        // (`--threads` / RECOVERY_THREADS), so dumps from runs at
+        // different counts can be diffed for byte identity.
+        let requested = threads_from_args();
+        let (dump_log, dumped) = sharded_ingest(&text, requested);
+        let dump = dump_processes(&dump_log, &dumped);
+        match std::fs::write(&path, &dump) {
+            Ok(()) => eprintln!(
+                "# wrote {path} ({} processes, {requested} threads)",
+                dumped.len()
+            ),
+            Err(e) => eprintln!("# could not write {path}: {e}"),
+        }
+    }
+
+    let sequential_ms = best_of_ms(3, || {
+        std::hint::black_box(sequential_ingest(&text));
+    });
+    let mut counts = vec![2, 4, pool_threads];
+    counts.sort_unstable();
+    counts.dedup();
+    let series: Vec<(usize, f64)> = counts
+        .into_iter()
+        .map(|n| {
+            let ms = best_of_ms(3, || {
+                std::hint::black_box(sharded_ingest(&text, n));
+            });
+            (n, ms)
+        })
+        .collect();
+    let (_, parallel_ms) = *series
+        .iter()
+        .find(|(n, _)| *n == pool_threads)
+        .expect("pool_threads is in the series");
+
+    let (cached, uncached) = replay_microbench(&processes);
+    assert!(
+        cached.allocs_per_attempt == 0.0,
+        "cached replay hot path allocated {} times per attempt",
+        cached.allocs_per_attempt
+    );
+
+    let series_json = series
+        .iter()
+        .map(|(n, ms)| {
+            format!(
+                "{{\"threads\":{n},\"ms\":{ms:.3},\"speedup\":{:.3}}}",
+                sequential_ms / ms
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let json = format!(
+        "{{\"bench\":\"ingest\",\"scale\":{scale},\"entries\":{},\
+         \"processes\":{},\"available_threads\":{available},\
+         \"threads\":{pool_threads},\"sequential_ms\":{sequential_ms:.3},\
+         \"parallel_ms\":{parallel_ms:.3},\"speedup\":{:.3},\
+         \"series\":[{series_json}],\
+         \"replay\":{{\"attempts\":{},\
+         \"cached_allocs_per_attempt\":{:.4},\
+         \"uncached_allocs_per_attempt\":{:.4},\
+         \"cached_ns_per_attempt\":{:.1},\
+         \"uncached_ns_per_attempt\":{:.1}}}}}\n",
+        log.len(),
+        processes.len(),
+        sequential_ms / parallel_ms,
+        cached.attempts,
+        cached.allocs_per_attempt,
+        uncached.allocs_per_attempt,
+        cached.ns_per_attempt,
+        uncached.ns_per_attempt,
+    );
+    // Bench binaries run with the package directory as CWD; anchor the
+    // result file at the workspace root instead.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => print!("wrote BENCH_ingest.json: {json}"),
+        Err(e) => eprintln!("could not write BENCH_ingest.json: {e}"),
+    }
+}

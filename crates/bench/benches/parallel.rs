@@ -15,7 +15,11 @@
 use std::time::Instant;
 
 use criterion::{criterion_group, Criterion};
+use recovery_core::error_type::ErrorTypeRanking;
+use recovery_core::evaluate::evaluate_parallel;
 use recovery_core::parallel::WorkerPool;
+use recovery_core::platform::{CostEstimation, SimulationPlatform};
+use recovery_core::policy::UserStatePolicy;
 use recovery_core::trainer::{OfflineTrainer, TrainerConfig};
 use recovery_simlog::{ActionRecord, MachineId, RecoveryProcess, RepairAction, SimTime, SymptomId};
 
@@ -143,7 +147,7 @@ fn main() {
         "parallel arm degenerated to {pool_threads} thread(s); \
          refusing to record a 1-vs-1 comparison"
     );
-    let types = train_with(&train, 1);
+    let types_trained = train_with(&train, 1);
     let sequential_ms = best_of_ms(3, || {
         std::hint::black_box(train_with(&train, 1));
     });
@@ -163,6 +167,33 @@ fn main() {
         .iter()
         .find(|(n, _)| *n == pool_threads)
         .expect("pool_threads is in the series");
+    // Replay throughput: full-policy evaluation over the catalog through
+    // the cached replay hot path, in replays (processes) per second. The
+    // sequential row doubles as the before/after anchor for the
+    // allocation-free replay work (BENCH_ingest.json has the per-attempt
+    // numbers).
+    let types = {
+        let ranking = ErrorTypeRanking::from_processes(&train);
+        ranking.top_k(TYPES as usize)
+    };
+    let platform = SimulationPlatform::from_processes(&train, CostEstimation::AverageOnly);
+    let user = UserStatePolicy::default();
+    let mut replay_counts = vec![1, 2, 4, pool_threads];
+    replay_counts.sort_unstable();
+    replay_counts.dedup();
+    let replay_series: Vec<(usize, f64)> = replay_counts
+        .into_iter()
+        .map(|n| {
+            let pool = WorkerPool::new(n);
+            let ms = best_of_ms(3, || {
+                std::hint::black_box(evaluate_parallel(
+                    &user, &platform, &train, &types, 20, &pool,
+                ));
+            });
+            (n, train.len() as f64 / (ms / 1e3))
+        })
+        .collect();
+
     let series_json = series
         .iter()
         .map(|(n, ms)| {
@@ -173,12 +204,19 @@ fn main() {
         })
         .collect::<Vec<_>>()
         .join(",");
+    let replay_json = replay_series
+        .iter()
+        .map(|(n, per_s)| format!("{{\"threads\":{n},\"replays_per_s\":{per_s:.1}}}"))
+        .collect::<Vec<_>>()
+        .join(",");
     let json = format!(
-        "{{\"bench\":\"train_all\",\"types\":{types},\
+        "{{\"bench\":\"train_all\",\"types\":{types_trained},\
          \"available_threads\":{available},\"threads\":{pool_threads},\
          \"sequential_ms\":{sequential_ms:.3},\"parallel_ms\":{parallel_ms:.3},\
-         \"speedup\":{:.3},\"series\":[{series_json}]}}\n",
-        sequential_ms / parallel_ms
+         \"speedup\":{:.3},\"series\":[{series_json}],\
+         \"replay_series\":[{replay_json}]}}\n",
+        sequential_ms / parallel_ms,
+        types_trained = types_trained
     );
     // Bench binaries run with the package directory as CWD; anchor the
     // result file at the workspace root instead.

@@ -6,6 +6,7 @@ use std::path::Path;
 use recovery_core::error_type::NoiseFilter;
 use recovery_core::evaluate::{evaluate_parallel, time_ordered_split};
 use recovery_core::experiment::{fig3_cohesion_curve, ExperimentContext, TestRun, TestRunConfig};
+use recovery_core::ingest;
 use recovery_core::parallel::WorkerPool;
 use recovery_core::persist::{policy_from_text, policy_to_text};
 use recovery_core::pipeline::{run_continuous_loop_observed, ContinuousLoopConfig};
@@ -53,21 +54,29 @@ pub fn generate(args: &Args, session: &Session) -> Result<(), String> {
     Ok(())
 }
 
-fn load_log(args: &Args, session: &Session) -> Result<RecoveryLog, String> {
-    let _span = session.telemetry.span("parse_log");
+/// Reads and parses the positional log argument with the sharded ingestion
+/// pipeline, honoring `--threads`. Returns the pool next to the log so the
+/// caller can shard process extraction through the same workers.
+fn load_log(args: &Args, session: &Session) -> Result<(RecoveryLog, WorkerPool), String> {
+    let pool = WorkerPool::new(parse_threads(args)?);
     let path = args.positional(0).ok_or("expected a log file argument")?;
     let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let log = RecoveryLog::from_text(&text).map_err(|e| format!("parsing {path}: {e}"))?;
-    session.debug(&format!("parsed {path}: {} entries", log.len()));
-    Ok(log)
+    let log = ingest::parse_log(&text, &pool, &session.telemetry)
+        .map_err(|e| format!("parsing {path}: {e}"))?;
+    session.debug(&format!(
+        "parsed {path}: {} entries ({} threads)",
+        log.len(),
+        pool.threads()
+    ));
+    Ok((log, pool))
 }
 
 /// `autorecover inspect` — log statistics and the type ranking.
 pub fn inspect(args: &Args, session: &Session) -> Result<(), String> {
-    let mut log = load_log(args, session)?;
+    let (mut log, pool) = load_log(args, session)?;
     let top: usize = args.flag_or("top", 20usize)?;
     let audit = log.audit();
-    let processes = log.split_processes();
+    let processes = ingest::split_processes(&mut log, &pool, &session.telemetry);
     let span = log.time_span();
     println!("entries:   {}", log.len());
     println!("symptoms:  {} distinct descriptions", log.symptoms().len());
@@ -117,13 +126,13 @@ pub fn inspect(args: &Args, session: &Session) -> Result<(), String> {
 
 /// `autorecover mine` — m-pattern cohesion analysis and clusters.
 pub fn mine(args: &Args, session: &Session) -> Result<(), String> {
-    let mut log = load_log(args, session)?;
+    let (mut log, pool) = load_log(args, session)?;
     let minp: f64 = args.flag_or("minp", 0.1f64)?;
     if !(minp > 0.0 && minp <= 1.0) {
         return Err("--minp must be in (0, 1]".into());
     }
+    let processes = ingest::split_processes(&mut log, &pool, &session.telemetry);
     let _span = session.telemetry.span("mine");
-    let processes = log.split_processes();
     println!("symptom cohesion (fraction of processes with one mutually dependent set):");
     for (m, f) in fig3_cohesion_curve(&processes) {
         println!("  minp {m:.1}: {f:.4}");
@@ -188,18 +197,17 @@ fn trainer_config(method: &str) -> Result<TrainerConfig, String> {
 /// `autorecover train` — offline policy generation.
 pub fn train(args: &Args, session: &Session) -> Result<(), String> {
     let out = args.flag("out").ok_or("train needs --out <policy file>")?;
-    let mut log = load_log(args, session)?;
+    let (mut log, pool) = load_log(args, session)?;
     let fraction: f64 = args.flag_or("fraction", 0.4f64)?;
     check_fraction(fraction)?;
     let minp: f64 = args.flag_or("minp", 0.1f64)?;
     let top_k: usize = args.flag_or("top", 40usize)?;
-    let threads = parse_threads(args)?;
+    let threads = pool.threads();
     let method = args.flag("method").unwrap_or("standard").to_owned();
 
-    let processes = log.split_processes();
     let ctx = {
         let _span = session.telemetry.span("prepare");
-        ExperimentContext::prepare(processes, minp, top_k)
+        ExperimentContext::prepare_from_log(&mut log, minp, top_k, &pool, &session.telemetry)
     };
     let (train_set, _) = time_ordered_split(&ctx.clean, fraction);
     session.info(&format!(
@@ -250,13 +258,12 @@ pub fn evaluate(args: &Args, session: &Session) -> Result<(), String> {
     let policy_path = args
         .flag("policy")
         .ok_or("evaluate needs --policy <file>")?;
-    let mut log = load_log(args, session)?;
+    let (mut log, pool) = load_log(args, session)?;
     let fraction: f64 = args.flag_or("fraction", 0.4f64)?;
     check_fraction(fraction)?;
     let hybrid: bool = args.flag_or("hybrid", true)?;
     let minp: f64 = args.flag_or("minp", 0.1f64)?;
     let top_k: usize = args.flag_or("top", 40usize)?;
-    let pool = WorkerPool::new(parse_threads(args)?);
 
     let policy_text =
         fs::read_to_string(policy_path).map_err(|e| format!("reading {policy_path}: {e}"))?;
@@ -266,10 +273,9 @@ pub fn evaluate(args: &Args, session: &Session) -> Result<(), String> {
         policy_from_text(&policy_text, symptoms).map_err(|e| e.to_string())?
     };
 
-    let processes = log.split_processes();
     let ctx = {
         let _span = session.telemetry.span("prepare");
-        ExperimentContext::prepare(processes, minp, top_k)
+        ExperimentContext::prepare_from_log(&mut log, minp, top_k, &pool, &session.telemetry)
     };
     let (train_set, test_set) = time_ordered_split(&ctx.clean, fraction);
     let platform = SimulationPlatform::from_processes(train_set, CostEstimation::AverageOnly)
@@ -378,20 +384,19 @@ pub fn simulate(args: &Args, session: &Session) -> Result<(), String> {
 
 /// `autorecover report` — the full four-split paper evaluation.
 pub fn report(args: &Args, session: &Session) -> Result<(), String> {
-    let mut log = load_log(args, session)?;
+    let (mut log, pool) = load_log(args, session)?;
     let method = args.flag("method").unwrap_or("standard").to_owned();
     let minp: f64 = args.flag_or("minp", 0.1f64)?;
     let top_k: usize = args.flag_or("top", 40usize)?;
-    let threads = parse_threads(args)?;
+    let threads = pool.threads();
     let fast: bool = args.flag_or("fast", false)?;
     let diagnostics_out = args.flag("diagnostics-out").map(str::to_owned);
     if let Some(dir) = &diagnostics_out {
         fs::create_dir_all(dir).map_err(|e| format!("--diagnostics-out {dir}: {e}"))?;
     }
-    let processes = log.split_processes();
     let ctx = {
         let _span = session.telemetry.span("prepare");
-        ExperimentContext::prepare(processes, minp, top_k)
+        ExperimentContext::prepare_from_log(&mut log, minp, top_k, &pool, &session.telemetry)
     };
     println!(
         "clean processes: {} ({} filtered as noisy); {} types selected",
@@ -562,6 +567,7 @@ pub fn continuous_loop(args: &Args, session: &Session) -> Result<(), String> {
     let windows: usize = args.flag_or("windows", 4usize)?;
     let scale: f64 = args.flag_or("scale", 0.02f64)?;
     let seed: u64 = args.flag_or("seed", 0x2007_D50Au64)?;
+    let threads = parse_threads(args)?;
     if windows < 2 {
         return Err("--windows must be at least 2".into());
     }
@@ -571,6 +577,7 @@ pub fn continuous_loop(args: &Args, session: &Session) -> Result<(), String> {
     let config = ContinuousLoopConfig {
         windows,
         seed,
+        threads,
         ..ContinuousLoopConfig::new(generator.cluster)
     };
     session.info(&format!(

@@ -1,0 +1,202 @@
+//! Sharded log ingestion: parallel parsing and process extraction with
+//! byte-identical output for any thread count.
+//!
+//! Field-scale recovery logs run to millions of lines, and both steps of
+//! turning them into training data — [`RecoveryLog::from_text`] and
+//! [`RecoveryLog::split_processes`] — were single-threaded. This module
+//! fans them out over a [`WorkerPool`] while preserving the workspace's
+//! determinism contract:
+//!
+//! * **Catalog prescan** (sequential). Symptom descriptions are interned
+//!   in first-appearance line order *before* any fan-out, so `SymptomId`s
+//!   never depend on which worker saw a description first.
+//! * **Parse shards** (parallel). The text is split into contiguous line
+//!   ranges; each worker parses its range against the shared read-only
+//!   catalog. Concatenating shard outputs in range order reproduces the
+//!   sequential entry order, and the first parse error of the
+//!   lowest-numbered failing line wins — exactly the sequential error.
+//! * **Split shards** (parallel). Machines never interact during process
+//!   extraction, so each worker runs the per-machine state machine over
+//!   the machines of its shard (`machine.index() % shards`). The merge
+//!   stable-sorts on `(start, machine)`: same-machine ties keep their
+//!   per-machine chronological order (a machine lives entirely in one
+//!   shard), so the result is byte-identical to the sequential split.
+//!
+//! Phase timings are reported through [`Telemetry`] spans
+//! (`catalog_prescan`, `parse_shards`, `merge_entries`, `split_shards`,
+//! `merge_processes`), so `--metrics-out` captures ingestion like it
+//! already captures training.
+
+use recovery_simlog::{
+    extract_processes, LogEntry, ParseLogError, RecoveryLog, RecoveryProcess, SymptomCatalog,
+};
+use recovery_telemetry::Telemetry;
+
+use crate::parallel::{chunk_ranges, WorkerPool};
+
+/// Parses a textual recovery log, sharding the line-level work over
+/// `pool`. Equivalent to [`RecoveryLog::from_text`] — same entries, same
+/// symptom catalog, same first error — for every thread count.
+///
+/// # Errors
+///
+/// Returns the first [`ParseLogError`] (lowest line number), annotated
+/// with its 1-based line number, exactly as the sequential parser does.
+pub fn parse_log(
+    text: &str,
+    pool: &WorkerPool,
+    telemetry: &Telemetry,
+) -> Result<RecoveryLog, ParseLogError> {
+    if pool.is_sequential() {
+        let _span = telemetry.span("parse_shards");
+        return RecoveryLog::from_text(text);
+    }
+    let symptoms = {
+        let _span = telemetry.span("catalog_prescan");
+        RecoveryLog::prescan_symptoms(text)
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    let ranges = chunk_ranges(lines.len(), pool.threads());
+    let shards = {
+        let _span = telemetry.span("parse_shards");
+        pool.map_indexed(ranges.len(), |i| {
+            parse_shard(&lines[ranges[i].clone()], ranges[i].start, &symptoms)
+        })
+    };
+    let _span = telemetry.span("merge_entries");
+    let mut entries: Vec<LogEntry> = Vec::with_capacity(lines.len());
+    for shard in shards {
+        // Shards are contiguous ascending line ranges and each worker
+        // stops at its own first error, so the first failing shard in
+        // range order carries the globally first error.
+        entries.extend(shard?);
+    }
+    Ok(RecoveryLog::from_parts(entries, symptoms))
+}
+
+/// Parses one contiguous range of lines against the prescanned catalog.
+/// `first_line` is the 0-based index of `lines[0]` in the full text.
+fn parse_shard(
+    lines: &[&str],
+    first_line: usize,
+    symptoms: &SymptomCatalog,
+) -> Result<Vec<LogEntry>, ParseLogError> {
+    let mut entries = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let entry = LogEntry::parse_line_interned(line, symptoms)
+            .map_err(|e| e.at_line(first_line + i + 1))?;
+        entries.push(entry);
+    }
+    Ok(entries)
+}
+
+/// Splits the log into complete recovery processes, sharding the
+/// per-machine extraction over `pool`. Equivalent to
+/// [`RecoveryLog::split_processes`] for every thread count.
+pub fn split_processes(
+    log: &mut RecoveryLog,
+    pool: &WorkerPool,
+    telemetry: &Telemetry,
+) -> Vec<RecoveryProcess> {
+    if pool.is_sequential() {
+        let _span = telemetry.span("split_shards");
+        return log.split_processes();
+    }
+    // Sorting (lazy, usually a no-op) must happen on the driver before
+    // the entry slice is shared read-only with the workers.
+    let entries = log.entries();
+    let shards = pool.threads();
+    let extracted = {
+        let _span = telemetry.span("split_shards");
+        pool.map_indexed(shards, |s| {
+            extract_processes(entries, |m| m.index() as usize % shards == s)
+        })
+    };
+    let _span = telemetry.span("merge_processes");
+    let mut processes: Vec<RecoveryProcess> = extracted.into_iter().flatten().collect();
+    processes.sort_by_key(|p| (p.start(), p.machine()));
+    processes
+}
+
+/// Parses a textual log and splits it into processes in one sharded
+/// pipeline: the common ingestion entry point of the CLI and benches.
+///
+/// # Errors
+///
+/// Returns the first [`ParseLogError`] of the text, as [`parse_log`].
+pub fn ingest(
+    text: &str,
+    pool: &WorkerPool,
+    telemetry: &Telemetry,
+) -> Result<(RecoveryLog, Vec<RecoveryProcess>), ParseLogError> {
+    let mut log = parse_log(text, pool, telemetry)?;
+    let processes = split_processes(&mut log, pool, telemetry);
+    Ok((log, processes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recovery_simlog::{GeneratorConfig, LogGenerator};
+
+    fn sample_text() -> String {
+        LogGenerator::new(GeneratorConfig::small())
+            .generate()
+            .log
+            .to_text()
+    }
+
+    #[test]
+    fn sharded_parse_matches_sequential() {
+        let text = sample_text();
+        let sequential = RecoveryLog::from_text(&text).unwrap();
+        for threads in [1, 2, 3, 8] {
+            let sharded = parse_log(&text, &WorkerPool::new(threads), &Telemetry::disabled())
+                .unwrap_or_else(|e| panic!("{threads} threads: {e}"));
+            assert_eq!(sharded, sequential, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn sharded_split_matches_sequential() {
+        let text = sample_text();
+        let expected = RecoveryLog::from_text(&text).unwrap().split_processes();
+        for threads in [1, 2, 3, 8] {
+            let pool = WorkerPool::new(threads);
+            let (_, processes) = ingest(&text, &pool, &Telemetry::disabled()).unwrap();
+            assert_eq!(processes, expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn sharded_parse_reports_the_first_error() {
+        let mut text = sample_text();
+        let lines = text.lines().count();
+        // Corrupt two lines; the earlier one must win under any sharding.
+        let mut corrupted: Vec<String> = text.lines().map(str::to_owned).collect();
+        corrupted[lines / 3] = "garbage".into();
+        corrupted[2 * lines / 3] = "more garbage".into();
+        text = corrupted.join("\n");
+        let expected = RecoveryLog::from_text(&text).unwrap_err();
+        for threads in [2, 4, 8] {
+            let err = parse_log(&text, &WorkerPool::new(threads), &Telemetry::disabled())
+                .expect_err("corrupted log must not parse");
+            assert_eq!(err.line(), expected.line(), "{threads} threads");
+            assert_eq!(err.line(), Some(lines / 3 + 1));
+        }
+    }
+
+    #[test]
+    fn empty_and_comment_only_logs_ingest_cleanly() {
+        for text in ["", "# only a comment\n\n"] {
+            let pool = WorkerPool::new(4);
+            let (log, processes) = ingest(text, &pool, &Telemetry::disabled()).unwrap();
+            assert!(log.is_empty());
+            assert!(processes.is_empty());
+        }
+    }
+}

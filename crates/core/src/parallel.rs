@@ -118,6 +118,35 @@ impl Default for WorkerPool {
     }
 }
 
+/// Splits `0..n` into at most `parts` contiguous near-equal ranges that
+/// cover it exactly, longer ranges first. The partition is a pure
+/// function of `(n, parts)`, so shard boundaries — and therefore every
+/// shard-then-merge result built on them — are deterministic.
+///
+/// Returns fewer than `parts` ranges when `n < parts` (never an empty
+/// range), and no ranges at all for `n == 0`.
+///
+/// # Panics
+///
+/// Panics if `parts` is zero.
+pub fn chunk_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(parts > 0, "need at least one chunk");
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(n);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +190,33 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_is_rejected() {
         let _ = WorkerPool::new(0);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_and_balance() {
+        for n in [0usize, 1, 2, 7, 100, 1013] {
+            for parts in [1usize, 2, 3, 8, 64] {
+                let ranges = chunk_ranges(n, parts);
+                assert!(ranges.len() <= parts);
+                let total: usize = ranges.iter().map(ExactSizeIterator::len).sum();
+                assert_eq!(total, n, "n={n} parts={parts}");
+                let mut expected_start = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expected_start);
+                    assert!(!r.is_empty());
+                    expected_start = r.end;
+                }
+                if let (Some(first), Some(last)) = (ranges.first(), ranges.last()) {
+                    assert!(first.len() - last.len() <= 1, "n={n} parts={parts}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chunk")]
+    fn chunk_ranges_rejects_zero_parts() {
+        let _ = chunk_ranges(10, 0);
     }
 
     #[test]

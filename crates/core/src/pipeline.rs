@@ -43,6 +43,9 @@ pub struct ContinuousLoopConfig {
     pub top_k: usize,
     /// Master seed; each window derives its own stream.
     pub seed: u64,
+    /// Worker threads for log ingestion and retraining within each
+    /// window. Outcomes are byte-identical for every value.
+    pub threads: usize,
 }
 
 impl ContinuousLoopConfig {
@@ -56,6 +59,7 @@ impl ContinuousLoopConfig {
             minp: 0.1,
             top_k: 40,
             seed: 0x100B,
+            threads: crate::parallel::WorkerPool::available().threads(),
         }
     }
 
@@ -72,6 +76,7 @@ impl ContinuousLoopConfig {
             "minp must be in (0, 1], got {}",
             self.minp
         );
+        assert!(self.threads >= 1, "a loop needs at least one thread");
         self.cluster.validate();
     }
 }
@@ -133,6 +138,7 @@ pub fn run_continuous_loop_observed(
     telemetry: &Telemetry,
 ) -> Vec<WindowOutcome> {
     config.validate();
+    let pool = crate::parallel::WorkerPool::new(config.threads);
     let mut outcomes = Vec::with_capacity(config.windows);
     let mut accumulated: Vec<RecoveryProcess> = Vec::new();
     let mut current: Option<TrainedPolicy> = None;
@@ -165,7 +171,7 @@ pub fn run_continuous_loop_observed(
                 }
             }
         };
-        let processes = log.split_processes();
+        let processes = crate::ingest::split_processes(&mut log, &pool, telemetry);
         let outcome = WindowOutcome {
             window,
             processes: processes.len(),
@@ -194,6 +200,7 @@ pub fn run_continuous_loop_observed(
             let ranking = crate::error_type::ErrorTypeRanking::from_processes(&outcome.clean);
             let types = ranking.top_k(config.top_k);
             let trainer = OfflineTrainer::new(&outcome.clean, config.trainer.clone())
+                .with_threads(config.threads)
                 .with_observer(telemetry.observer_handle());
             let tree = SelectionTreeTrainer::new(&trainer, config.tree.clone());
             let (policy, _) = tree.train(&types);

@@ -21,6 +21,7 @@
 //! supposed to estimate).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use recovery_simlog::{RecoveryProcess, RepairAction};
 use recovery_telemetry::{ObserverHandle, TrainingObserver};
@@ -116,6 +117,54 @@ impl Replay {
     }
 }
 
+/// The immutable, dense cost model shared by every view of a platform.
+///
+/// Types are indexed by first-seen order over the training processes
+/// (stats therefore accumulate in exactly the sequential order, keeping
+/// float sums bit-identical to the historical `HashMap` layout), and each
+/// type owns one `RepairAction::COUNT`-wide stats row — a replayed attempt
+/// costs one `HashMap` probe for the type slot and array indexing from
+/// there, or zero probes through a [`ReplayCache`].
+#[derive(Debug, Default)]
+struct CostModel {
+    type_slot: HashMap<ErrorType, u32>,
+    per_type: Vec<[PairStats; RepairAction::COUNT]>,
+    detection_by_type: Vec<(f64, usize)>,
+    global: [PairStats; RepairAction::COUNT],
+    detection_global: (f64, usize),
+}
+
+impl CostModel {
+    /// The per-type stats row of `et`, if the type was seen in training.
+    fn row(&self, et: ErrorType) -> Option<usize> {
+        self.type_slot.get(&et).map(|&s| s as usize)
+    }
+}
+
+/// Precomputed per-process replay state: the H1/H2 verdict, the average
+/// fallback cost, and the occurrence-indexed actual costs of every
+/// action, plus both detection leads.
+///
+/// Built once per `(platform, process)` by
+/// [`SimulationPlatform::replay_cache`]; after that,
+/// [`SimulationPlatform::attempt_cached`] answers each replayed attempt
+/// with array lookups only — no re-deriving `ErrorType::of` or
+/// `required_action`, no hashing, no allocation. The cached answers are
+/// bit-identical to [`SimulationPlatform::attempt`].
+#[derive(Debug, Clone)]
+pub struct ReplayCache {
+    /// H1/H2 verdict per action index (fixed for a fixed process).
+    cured: [bool; RepairAction::COUNT],
+    /// `average_cost(et, action, cured[action])` per action index.
+    average: [f64; RepairAction::COUNT],
+    /// `actual[offsets[a]..offsets[a + 1]]` are the logged costs of
+    /// action `a`'s replay-matching attempts, in occurrence order.
+    offsets: [u32; RepairAction::COUNT + 1],
+    actual: Vec<f64>,
+    detection_actual: f64,
+    detection_average: f64,
+}
+
 /// The log-replay simulation platform.
 ///
 /// ```
@@ -134,10 +183,7 @@ impl Replay {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimulationPlatform {
-    per_type: HashMap<(ErrorType, RepairAction), PairStats>,
-    global: [PairStats; RepairAction::COUNT],
-    detection_by_type: HashMap<ErrorType, (f64, usize)>,
-    detection_global: (f64, usize),
+    model: Arc<CostModel>,
     estimation: CostEstimation,
     observer: ObserverHandle,
 }
@@ -145,44 +191,55 @@ pub struct SimulationPlatform {
 impl SimulationPlatform {
     /// Builds the platform's cost model from training processes.
     pub fn from_processes(processes: &[RecoveryProcess], estimation: CostEstimation) -> Self {
-        let mut per_type: HashMap<(ErrorType, RepairAction), PairStats> = HashMap::new();
-        let mut global = [PairStats::default(); RepairAction::COUNT];
-        let mut detection_by_type: HashMap<ErrorType, (f64, usize)> = HashMap::new();
-        let mut detection_global = (0.0, 0usize);
+        let mut model = CostModel::default();
         for p in processes {
             let et = ErrorType::of(p);
+            let slot = match model.row(et) {
+                Some(slot) => slot,
+                None => {
+                    let slot = model.per_type.len();
+                    model.type_slot.insert(et, slot as u32);
+                    model
+                        .per_type
+                        .push([PairStats::default(); RepairAction::COUNT]);
+                    model.detection_by_type.push((0.0, 0));
+                    slot
+                }
+            };
             for ac in p.action_costs() {
                 let cost = ac.cost.as_secs_f64();
-                per_type
-                    .entry((et, ac.action))
-                    .or_default()
-                    .record(ac.cured, cost);
-                global[ac.action.index()].record(ac.cured, cost);
+                model.per_type[slot][ac.action.index()].record(ac.cured, cost);
+                model.global[ac.action.index()].record(ac.cured, cost);
             }
             let lead = p.detection_lead().as_secs_f64();
-            let e = detection_by_type.entry(et).or_insert((0.0, 0));
-            e.0 += lead;
-            e.1 += 1;
-            detection_global.0 += lead;
-            detection_global.1 += 1;
+            model.detection_by_type[slot].0 += lead;
+            model.detection_by_type[slot].1 += 1;
+            model.detection_global.0 += lead;
+            model.detection_global.1 += 1;
         }
         SimulationPlatform {
-            per_type,
-            global,
-            detection_by_type,
-            detection_global,
+            model: Arc::new(model),
             estimation,
             observer: ObserverHandle::none(),
         }
     }
 
-    /// Returns a copy of the platform with a different cost-estimation
-    /// mode (the cost model itself is shared statistics either way).
+    /// Returns a view of the platform with a different cost-estimation
+    /// mode. The immutable cost model is shared (`Arc`), never copied:
+    /// switching modes on a field-scale platform costs a refcount bump.
     pub fn with_estimation(&self, estimation: CostEstimation) -> Self {
         SimulationPlatform {
+            model: Arc::clone(&self.model),
             estimation,
-            ..self.clone()
+            observer: self.observer.clone(),
         }
+    }
+
+    /// Whether two platform views share one cost-model allocation.
+    /// [`SimulationPlatform::with_estimation`] and `clone` always do —
+    /// the stats tables are behind an `Arc` and never deep-copied.
+    pub fn shares_cost_model(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.model, &other.model)
     }
 
     /// Attaches an observer: every replayed attempt reports its H1/H2
@@ -207,10 +264,10 @@ impl SimulationPlatform {
     /// Average success cost of `(error type, action)`, with fallback to
     /// the cross-type average and finally the action's baseline duration.
     pub fn average_cost(&self, et: ErrorType, action: RepairAction, cured: bool) -> f64 {
-        self.per_type
-            .get(&(et, action))
-            .and_then(|s| s.mean(cured))
-            .or_else(|| self.global[action.index()].mean(cured))
+        self.model
+            .row(et)
+            .and_then(|slot| self.model.per_type[slot][action.index()].mean(cured))
+            .or_else(|| self.model.global[action.index()].mean(cured))
             .unwrap_or_else(|| {
                 let base = action.baseline_duration().as_secs_f64();
                 if cured {
@@ -223,15 +280,93 @@ impl SimulationPlatform {
 
     /// Average detection lead for the type (fallback: global average).
     pub fn average_detection_lead(&self, et: ErrorType) -> f64 {
-        if let Some(&(sum, n)) = self.detection_by_type.get(&et) {
+        if let Some(slot) = self.model.row(et) {
+            let (sum, n) = self.model.detection_by_type[slot];
             if n > 0 {
                 return sum / n as f64;
             }
         }
-        if self.detection_global.1 > 0 {
-            self.detection_global.0 / self.detection_global.1 as f64
+        if self.model.detection_global.1 > 0 {
+            self.model.detection_global.0 / self.model.detection_global.1 as f64
         } else {
             0.0
+        }
+    }
+
+    /// Precomputes everything [`SimulationPlatform::attempt`] would
+    /// re-derive per attempt against `truth`: the H1/H2 verdict and
+    /// average fallback per action, the occurrence-indexed actual costs,
+    /// and both detection leads. Build it once per process, then replay
+    /// attempts allocation-free with
+    /// [`SimulationPlatform::attempt_cached`].
+    pub fn replay_cache(&self, truth: &RecoveryProcess) -> ReplayCache {
+        let et = ErrorType::of(truth);
+        let required = truth.required_action();
+        let mut cured = [false; RepairAction::COUNT];
+        let mut average = [0.0; RepairAction::COUNT];
+        for a in RepairAction::ALL {
+            cured[a.index()] = a.at_least_as_strong_as(required);
+            average[a.index()] = self.average_cost(et, a, cured[a.index()]);
+        }
+        let costs = truth.action_costs();
+        let mut offsets = [0u32; RepairAction::COUNT + 1];
+        let mut actual = Vec::with_capacity(costs.len());
+        for i in 0..RepairAction::COUNT {
+            offsets[i] = actual.len() as u32;
+            // A logged attempt matches replay only when its outcome equals
+            // the replay verdict for the action (the `last == cured`
+            // condition of `RecoveryProcess::nth_action_cost`); the
+            // chronological order of `action_costs` is occurrence order.
+            for c in &costs {
+                if c.action.index() == i && c.cured == cured[i] {
+                    actual.push(c.cost.as_secs_f64());
+                }
+            }
+        }
+        offsets[RepairAction::COUNT] = actual.len() as u32;
+        ReplayCache {
+            cured,
+            average,
+            offsets,
+            actual,
+            detection_actual: truth.detection_lead().as_secs_f64(),
+            detection_average: self.average_detection_lead(et),
+        }
+    }
+
+    /// The cached form of [`SimulationPlatform::attempt`]: answers from
+    /// the [`ReplayCache`] with array lookups only — no hashing, no
+    /// scanning, no allocation. Bit-identical outcomes, identical
+    /// observer reporting.
+    pub fn attempt_cached(
+        &self,
+        cache: &ReplayCache,
+        action: RepairAction,
+        occurrence: usize,
+    ) -> AttemptOutcome {
+        let i = action.index();
+        let cured = cache.cured[i];
+        let (cost, actual) = match self.estimation {
+            CostEstimation::PreferActual => {
+                let slot = cache.offsets[i] as usize + occurrence;
+                if slot < cache.offsets[i + 1] as usize {
+                    (cache.actual[slot], true)
+                } else {
+                    (cache.average[i], false)
+                }
+            }
+            CostEstimation::AverageOnly => (cache.average[i], false),
+        };
+        self.observer.platform_replay(cured, cost, actual);
+        AttemptOutcome { cured, cost }
+    }
+
+    /// The detection lead of a cached replay, by estimation mode — the
+    /// cached form of [`SimulationPlatform::replay_detection_lead`].
+    pub fn detection_lead_cached(&self, cache: &ReplayCache) -> f64 {
+        match self.estimation {
+            CostEstimation::PreferActual => cache.detection_actual,
+            CostEstimation::AverageOnly => cache.detection_average,
         }
     }
 
@@ -294,9 +429,15 @@ impl SimulationPlatform {
         max_attempts: usize,
     ) -> Replay {
         assert!(max_attempts > 0, "need at least one attempt");
+        let cache = self.replay_cache(truth);
         let mut state = RecoveryState::initial(ErrorType::of(truth));
-        let mut attempts: Vec<(RepairAction, AttemptOutcome)> = Vec::new();
-        let detection_lead = self.replay_detection_lead(truth);
+        let mut attempts: Vec<(RepairAction, AttemptOutcome)> =
+            Vec::with_capacity(max_attempts.min(32));
+        // Occurrence counting used to rescan the whole attempt list per
+        // attempt (quadratic in the N = 20 cap); a per-action counter is
+        // equivalent because occurrence only keys on the action.
+        let mut tried = [0u32; RepairAction::COUNT];
+        let detection_lead = self.detection_lead_cached(&cache);
         loop {
             let action = if attempts.len() + 1 >= max_attempts {
                 RepairAction::Rma
@@ -314,8 +455,9 @@ impl SimulationPlatform {
                     }
                 }
             };
-            let occurrence = attempts.iter().filter(|(a, _)| *a == action).count();
-            let outcome = self.attempt(truth, action, occurrence);
+            let occurrence = tried[action.index()] as usize;
+            tried[action.index()] += 1;
+            let outcome = self.attempt_cached(&cache, action, occurrence);
             attempts.push((action, outcome));
             if outcome.cured {
                 return self.finish_replay(Replay {
@@ -538,6 +680,70 @@ mod tests {
         let q = p.with_estimation(CostEstimation::AverageOnly);
         assert_eq!(q.estimation(), CostEstimation::AverageOnly);
         assert_eq!(p.estimation(), CostEstimation::PreferActual);
+    }
+
+    #[test]
+    fn with_estimation_shares_the_cost_model() {
+        // The mode switch must never deep-clone the stats tables: both
+        // views point at the same Arc'd allocation, as does a plain clone.
+        let p = platform(CostEstimation::PreferActual);
+        let q = p.with_estimation(CostEstimation::AverageOnly);
+        assert!(p.shares_cost_model(&q));
+        assert!(p.shares_cost_model(&p.clone()));
+        // Distinct builds naturally do not share.
+        assert!(!p.shares_cost_model(&platform(CostEstimation::PreferActual)));
+    }
+
+    #[test]
+    fn cached_attempts_match_uncached_for_all_actions_and_occurrences() {
+        for estimation in [CostEstimation::PreferActual, CostEstimation::AverageOnly] {
+            let p = platform(estimation);
+            for truth in [reboot_process(), reboot_process_2()] {
+                let cache = p.replay_cache(&truth);
+                for action in RepairAction::ALL {
+                    for occurrence in 0..4 {
+                        assert_eq!(
+                            p.attempt_cached(&cache, action, occurrence),
+                            p.attempt(&truth, action, occurrence),
+                            "{estimation:?} {action:?} occurrence {occurrence}"
+                        );
+                    }
+                }
+                assert_eq!(
+                    p.detection_lead_cached(&cache),
+                    p.replay_detection_lead(&truth)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn twenty_attempt_replay_charges_identical_costs() {
+        // Regression for the O(n²) occurrence scan: a 20-attempt replay
+        // must charge exactly what per-attempt occurrence reconstruction
+        // (the old list-rescan definition) says, attempt by attempt.
+        let p = platform(CostEstimation::PreferActual);
+        let truth = reboot_process();
+        let replay = p.replay(&truth, &Always(RepairAction::TryNop), 20);
+        assert!(replay.handled());
+        assert_eq!(replay.attempts.len(), 20);
+        for (i, (action, outcome)) in replay.attempts.iter().enumerate() {
+            let occurrence = replay.attempts[..i]
+                .iter()
+                .filter(|(a, _)| a == action)
+                .count();
+            assert_eq!(
+                *outcome,
+                p.attempt(&truth, *action, occurrence),
+                "attempt {i}"
+            );
+        }
+        // The logged TRYNOP failure is charged once; repeats fall back to
+        // the average, so attempts 2..19 all cost the same.
+        assert_eq!(replay.attempts[0].1.cost, 600.0);
+        let repeat = replay.attempts[1].1.cost;
+        assert!(replay.attempts[1..19].iter().all(|(_, o)| o.cost == repeat));
+        assert_eq!(replay.attempts[19].0, RepairAction::Rma);
     }
 
     #[test]

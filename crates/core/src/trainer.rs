@@ -21,7 +21,7 @@ use recovery_telemetry::{Event, ObserverHandle, TrainingObserver};
 
 use crate::error_type::{ErrorType, ErrorTypeRanking};
 use crate::parallel::WorkerPool;
-use crate::platform::{CostEstimation, SimulationPlatform};
+use crate::platform::{CostEstimation, ReplayCache, SimulationPlatform};
 use crate::policy::TrainedPolicy;
 use crate::state::RecoveryState;
 
@@ -218,6 +218,11 @@ pub struct TypeTrainingStats {
 pub struct ReplayEnv<'a> {
     platform: &'a SimulationPlatform,
     processes: &'a [&'a RecoveryProcess],
+    /// One [`ReplayCache`] per process, index-aligned with `processes`:
+    /// episodes replay thousands of attempts per process, so the hot
+    /// path answers from precomputed tables instead of re-deriving the
+    /// error type, required action, and occurrence costs per attempt.
+    caches: Vec<ReplayCache>,
     error_type: ErrorType,
     max_attempts: usize,
     prune_dominated: bool,
@@ -261,9 +266,10 @@ impl Environment for ReplayEnv<'_> {
     }
 
     fn step(&mut self, state: &RecoveryState, action: RepairAction) -> Step<RecoveryState> {
-        let truth = self.processes[self.current];
         let occurrence = state.tried().count(action) as usize;
-        let outcome = self.platform.attempt(truth, action, occurrence);
+        let outcome = self
+            .platform
+            .attempt_cached(&self.caches[self.current], action, occurrence);
         Step {
             cost: outcome.cost,
             next: (!outcome.cured).then(|| state.after(action)),
@@ -369,9 +375,14 @@ impl<'a> OfflineTrainer<'a> {
     /// no training processes.
     pub fn replay_env(&self, et: ErrorType) -> Option<ReplayEnv<'_>> {
         let processes = self.by_type.get(&et)?;
+        let caches = processes
+            .iter()
+            .map(|p| self.platform.replay_cache(p))
+            .collect();
         Some(ReplayEnv {
             platform: &self.platform,
             processes,
+            caches,
             error_type: et,
             max_attempts: self.config.max_attempts,
             prune_dominated: self.config.prune_dominated,

@@ -4,6 +4,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::action::RepairAction;
 use crate::error::ParseLogError;
 use crate::event::{LogEntry, LogEvent};
 use crate::machine::MachineId;
@@ -51,6 +52,21 @@ impl RecoveryLog {
             entries: Vec::new(),
             symptoms,
             sorted: true,
+        }
+    }
+
+    /// Assembles a log from already-parsed entries and their catalog (the
+    /// merge step of sharded ingestion). Sortedness is detected with one
+    /// scan, so a chronologically merged entry stream keeps the lazy-sort
+    /// fast path.
+    pub fn from_parts(entries: Vec<LogEntry>, symptoms: SymptomCatalog) -> Self {
+        let sorted = entries
+            .windows(2)
+            .all(|w| (w[0].time, w[0].machine) <= (w[1].time, w[1].machine));
+        RecoveryLog {
+            entries,
+            symptoms,
+            sorted,
         }
     }
 
@@ -141,6 +157,35 @@ impl RecoveryLog {
         Ok(log)
     }
 
+    /// Builds the symptom catalog of a textual log in one sequential pass,
+    /// without validating the time/machine fields. Descriptions are
+    /// interned in first-appearance line order — exactly the ids
+    /// [`RecoveryLog::from_text`] assigns — so shard workers parsing
+    /// disjoint line ranges against this catalog (with
+    /// [`LogEntry::parse_line_interned`]) reproduce the single-threaded
+    /// `SymptomId`s for any shard count.
+    pub fn prescan_symptoms(text: &str) -> SymptomCatalog {
+        let mut symptoms = SymptomCatalog::new();
+        for line in text.lines() {
+            let line = line.trim_end_matches('\r');
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some(description) = line.splitn(3, '\t').nth(2) else {
+                continue;
+            };
+            // The same classification order as `LogEntry::parse_line`:
+            // only descriptions that would parse as symptoms are interned.
+            if description != "Success"
+                && description.parse::<RepairAction>().is_err()
+                && description.contains(':')
+            {
+                symptoms.intern(description);
+            }
+        }
+        symptoms
+    }
+
     /// Audits the log: how many complete processes it contains, and what
     /// gets dropped on the floor by [`RecoveryLog::split_processes`] —
     /// stray actions or `Success` reports outside any process (e.g.
@@ -185,45 +230,65 @@ impl RecoveryLog {
     /// processes that "end with successful recovery".
     pub fn split_processes(&mut self) -> Vec<RecoveryProcess> {
         self.ensure_sorted();
-        #[derive(Default)]
-        struct Open {
-            symptoms: Vec<(SimTime, crate::symptom::SymptomId)>,
-            actions: Vec<ActionRecord>,
+        let mut processes = extract_processes(&self.entries, |_| true);
+        processes.sort_by_key(|p| (p.start(), p.machine()));
+        processes
+    }
+}
+
+/// Runs the per-machine process state machine over chronologically sorted
+/// entries, visiting only machines for which `take` returns `true`.
+///
+/// Machines never interact during process extraction, so disjoint machine
+/// subsets can be extracted independently (the shard step of parallel
+/// ingestion) and merged back by sorting on `(start, machine)` — the
+/// single-threaded [`RecoveryLog::split_processes`] order. Processes are
+/// returned in completion (`Success`) order, which within one machine is
+/// also chronological — the property the stable merge sort relies on.
+pub fn extract_processes(
+    entries: &[LogEntry],
+    take: impl Fn(MachineId) -> bool,
+) -> Vec<RecoveryProcess> {
+    #[derive(Default)]
+    struct Open {
+        symptoms: Vec<(SimTime, crate::symptom::SymptomId)>,
+        actions: Vec<ActionRecord>,
+    }
+    let mut open: BTreeMap<MachineId, Open> = BTreeMap::new();
+    let mut processes = Vec::new();
+    for e in entries {
+        if !take(e.machine) {
+            continue;
         }
-        let mut open: BTreeMap<MachineId, Open> = BTreeMap::new();
-        let mut processes = Vec::new();
-        for e in &self.entries {
-            match e.event {
-                LogEvent::Symptom(s) => {
-                    open.entry(e.machine)
-                        .or_default()
-                        .symptoms
-                        .push((e.time, s));
+        match e.event {
+            LogEvent::Symptom(s) => {
+                open.entry(e.machine)
+                    .or_default()
+                    .symptoms
+                    .push((e.time, s));
+            }
+            LogEvent::Action(a) => {
+                // An action without a preceding symptom is a stray
+                // (e.g. operator-initiated maintenance): ignore it.
+                if let Some(o) = open.get_mut(&e.machine) {
+                    o.actions.push(ActionRecord {
+                        time: e.time,
+                        action: a,
+                    });
                 }
-                LogEvent::Action(a) => {
-                    // An action without a preceding symptom is a stray
-                    // (e.g. operator-initiated maintenance): ignore it.
-                    if let Some(o) = open.get_mut(&e.machine) {
-                        o.actions.push(ActionRecord {
-                            time: e.time,
-                            action: a,
-                        });
-                    }
-                }
-                LogEvent::Success => {
-                    if let Some(o) = open.remove(&e.machine) {
-                        if !o.symptoms.is_empty() {
-                            processes.push(RecoveryProcess::new(
-                                e.machine, o.symptoms, o.actions, e.time,
-                            ));
-                        }
+            }
+            LogEvent::Success => {
+                if let Some(o) = open.remove(&e.machine) {
+                    if !o.symptoms.is_empty() {
+                        processes.push(RecoveryProcess::new(
+                            e.machine, o.symptoms, o.actions, e.time,
+                        ));
                     }
                 }
             }
         }
-        processes.sort_by_key(|p| (p.start(), p.machine()));
-        processes
     }
+    processes
 }
 
 /// The result of [`RecoveryLog::audit`].
@@ -371,6 +436,40 @@ mod tests {
         let text = "2006-01-01 00:00:00\tM0001\terror:A\ngarbage line\n";
         let err = RecoveryLog::from_text(text).unwrap_err();
         assert_eq!(err.line(), Some(2));
+    }
+
+    #[test]
+    fn prescan_matches_from_text_catalog() {
+        let mut log = two_machine_log();
+        let text = log.to_text();
+        let parsed = RecoveryLog::from_text(&text).unwrap();
+        assert_eq!(RecoveryLog::prescan_symptoms(&text), *parsed.symptoms());
+        // Comment/blank lines and action/Success descriptions never intern.
+        assert!(RecoveryLog::prescan_symptoms("# error:A\n\nx\ty\tSuccess\n").is_empty());
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_detects_order() {
+        let mut log = two_machine_log();
+        let sorted_entries = log.entries().to_vec();
+        let mut rebuilt = RecoveryLog::from_parts(sorted_entries.clone(), log.symptoms().clone());
+        assert_eq!(rebuilt.split_processes(), log.split_processes());
+        // Reversed entries must still split identically via the lazy sort.
+        let reversed: Vec<_> = sorted_entries.into_iter().rev().collect();
+        let mut shuffled = RecoveryLog::from_parts(reversed, log.symptoms().clone());
+        assert_eq!(shuffled.split_processes(), log.split_processes());
+    }
+
+    #[test]
+    fn extract_processes_partitions_by_machine() {
+        let mut log = two_machine_log();
+        let all = log.split_processes();
+        let entries = log.entries().to_vec();
+        let mut sharded: Vec<_> = (0..2u32)
+            .flat_map(|s| extract_processes(&entries, |m| m.index() % 2 == s))
+            .collect();
+        sharded.sort_by_key(|p| (p.start(), p.machine()));
+        assert_eq!(sharded, all);
     }
 
     #[test]
