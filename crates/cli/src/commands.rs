@@ -6,7 +6,7 @@ use std::path::Path;
 use recovery_core::error_type::NoiseFilter;
 use recovery_core::evaluate::{evaluate_parallel, time_ordered_split};
 use recovery_core::experiment::{fig3_cohesion_curve, ExperimentContext, TestRun, TestRunConfig};
-use recovery_core::ingest;
+use recovery_core::ingest::{self, ParseErrorPolicy};
 use recovery_core::parallel::WorkerPool;
 use recovery_core::persist::{policy_from_text, policy_to_text};
 use recovery_core::pipeline::{run_continuous_loop_observed, ContinuousLoopConfig};
@@ -54,15 +54,43 @@ pub fn generate(args: &Args, session: &Session) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `--on-parse-error`: absent means the strict `fail` policy.
+fn parse_error_policy(args: &Args) -> Result<ParseErrorPolicy, String> {
+    match args.flag("on-parse-error") {
+        None => Ok(ParseErrorPolicy::Fail),
+        Some(v) => v
+            .parse()
+            .map_err(|e: String| format!("--on-parse-error: {e}")),
+    }
+}
+
 /// Reads and parses the positional log argument with the sharded ingestion
-/// pipeline, honoring `--threads`. Returns the pool next to the log so the
-/// caller can shard process extraction through the same workers.
+/// pipeline, honoring `--threads` and `--on-parse-error`. Returns the pool
+/// next to the log so the caller can shard process extraction through the
+/// same workers.
 fn load_log(args: &Args, session: &Session) -> Result<(RecoveryLog, WorkerPool), String> {
     let pool = WorkerPool::new(parse_threads(args)?);
+    let policy = parse_error_policy(args)?;
     let path = args.positional(0).ok_or("expected a log file argument")?;
     let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let log = ingest::parse_log(&text, &pool, &session.telemetry)
+    let (log, quarantine) = ingest::parse_log_with_policy(&text, policy, &pool, &session.telemetry)
         .map_err(|e| format!("parsing {path}: {e}"))?;
+    if !quarantine.is_clean() {
+        session.info(&format!(
+            "{path}: skipped {} malformed line(s) under --on-parse-error {policy} ({} quarantined, {} dropped past the buffer)",
+            quarantine.skipped(),
+            quarantine.lines().len(),
+            quarantine.dropped()
+        ));
+        for line in quarantine.lines().iter().take(5) {
+            session.debug(&format!(
+                "quarantined line {} [{}]: {}",
+                line.line,
+                line.kind.label(),
+                line.text
+            ));
+        }
+    }
     session.debug(&format!(
         "parsed {path}: {} entries ({} threads)",
         log.len(),
@@ -586,18 +614,19 @@ pub fn continuous_loop(args: &Args, session: &Session) -> Result<(), String> {
     ));
     let outcomes = run_continuous_loop_observed(&catalog, &config, &session.telemetry);
     println!(
-        "{:>6}  {:>9}  {:>10}  {:>8}  {:>9}",
+        "{:>6}  {:>9}  {:>10}  {:>8}  {:>9}  status",
         "window", "processes", "mttr", "policy", "entries"
     );
     let baseline = outcomes[0].mttr.as_secs_f64();
     for w in &outcomes {
         println!(
-            "{:>6}  {:>9}  {:>10}  {:>8}  {:>9}",
+            "{:>6}  {:>9}  {:>10}  {:>8}  {:>9}  {}",
             w.window,
             w.processes,
             w.mttr.to_string(),
             if w.learned_policy { "learned" } else { "user" },
-            w.policy_entries
+            w.policy_entries,
+            w.status.label()
         );
     }
     if let Some(last) = outcomes.last() {

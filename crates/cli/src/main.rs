@@ -77,6 +77,14 @@ GLOBAL FLAGS (accepted by every command):
                         machine's available parallelism; 1 is the legacy
                         sequential path. Trained policies are
                         byte-identical for every thread count.
+  --on-parse-error MODE How log-reading commands (inspect/mine/train/
+                        evaluate/report) react to a malformed log line:
+                        fail (default; stop at the first error), skip
+                        (drop malformed lines, counting them per kind),
+                        or quarantine (skip + retain the first 64
+                        offending lines for inspection). Surviving
+                        entries and all quarantine counters are
+                        byte-identical for every --threads value.
   --metrics-out FILE    Write telemetry as JSON lines: per-stage span
                         timings, training progress events, and a final
                         metrics snapshot (counters/gauges/histograms).

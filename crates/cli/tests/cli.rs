@@ -558,3 +558,82 @@ fn report_diagnostics_out_writes_run_reports() {
     std::fs::remove_file(&log).ok();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn on_parse_error_selects_the_ingestion_policy() {
+    let log = tmp("ope.log");
+    generate_log(&log);
+    // Corrupt one content line in place.
+    let text = std::fs::read_to_string(&log).unwrap();
+    let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+    let victim = lines.len() / 2;
+    lines[victim] = "this line is not a log entry".into();
+    std::fs::write(&log, lines.join("\n")).unwrap();
+
+    // Default (strict) mode fails with the parse error.
+    let out = bin()
+        .args(["inspect", log.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "strict mode must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("parsing"), "{err}");
+
+    // skip and quarantine both survive the corrupted line.
+    for mode in ["skip", "quarantine"] {
+        let out = bin()
+            .args(["inspect", log.to_str().unwrap(), "--on-parse-error", mode])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{mode}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("skipped 1 malformed"), "{mode}: {err}");
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        assert!(text.contains("processes:"), "{mode}: {text}");
+    }
+
+    // Unknown modes are rejected up front.
+    let out = bin()
+        .args([
+            "inspect",
+            log.to_str().unwrap(),
+            "--on-parse-error",
+            "lenient",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown parse-error policy"), "{err}");
+
+    std::fs::remove_file(&log).ok();
+}
+
+#[test]
+fn help_documents_on_parse_error_flag() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("--on-parse-error"), "{text}");
+    assert!(text.contains("quarantine"), "{text}");
+}
+
+#[test]
+fn loop_table_reports_window_status() {
+    let out = bin()
+        .args(["loop", "--windows", "2", "--scale", "0.005"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("status"), "{text}");
+    assert!(text.contains("trained"), "{text}");
+}

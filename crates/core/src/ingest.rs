@@ -26,13 +26,214 @@
 //! (`catalog_prescan`, `parse_shards`, `merge_entries`, `split_shards`,
 //! `merge_processes`), so `--metrics-out` captures ingestion like it
 //! already captures training.
+//!
+//! # Lenient ingestion
+//!
+//! Strict parsing ([`parse_log`], [`ingest`]) stops at the first
+//! malformed line — the right behavior for trusted, generated fixtures,
+//! and byte-identical to [`RecoveryLog::from_text`]. Field logs are
+//! dirtier: torn writes, encoding damage, and foreign lines are routine,
+//! and the paper's whole premise is learning from noisy logs. So
+//! [`parse_log_with_policy`] additionally offers two lenient
+//! [`ParseErrorPolicy`] modes that *skip* malformed lines instead of
+//! failing:
+//!
+//! * [`ParseErrorPolicy::Skip`] counts skipped lines per
+//!   [`ParseLogErrorKind`] and drops them;
+//! * [`ParseErrorPolicy::Quarantine`] additionally retains the first
+//!   [`QUARANTINE_CAPACITY`] offending lines (number, kind, truncated
+//!   text) in a bounded [`QuarantineReport`] buffer for inspection.
+//!
+//! Lenient parsing always runs the prescan-and-shard path — even on a
+//! single thread — so which lines survive is decided by the same code
+//! for every thread count, and the surviving log plus every quarantine
+//! counter is byte-identical across pool sizes. Skipped lines are
+//! surfaced through telemetry (`ingest.lines_skipped`,
+//! `ingest.parse_error.<kind>`, `ingest.quarantined` counters and
+//! `quarantine` events), so degraded ingestion is observable, never
+//! silent.
+
+use std::fmt;
+use std::str::FromStr;
 
 use recovery_simlog::{
-    extract_processes, LogEntry, ParseLogError, RecoveryLog, RecoveryProcess, SymptomCatalog,
+    extract_processes, LogEntry, ParseLogError, ParseLogErrorKind, RecoveryLog, RecoveryProcess,
+    SymptomCatalog,
 };
-use recovery_telemetry::Telemetry;
+use recovery_telemetry::{Event, Telemetry};
 
 use crate::parallel::{chunk_ranges, WorkerPool};
+
+/// How log-reading entry points react to a malformed line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ParseErrorPolicy {
+    /// Stop at the first malformed line (the strict default, byte-
+    /// identical to [`RecoveryLog::from_text`]).
+    #[default]
+    Fail,
+    /// Skip malformed lines, counting them per kind.
+    Skip,
+    /// Skip malformed lines and retain the first
+    /// [`QUARANTINE_CAPACITY`] of them for inspection.
+    Quarantine,
+}
+
+impl FromStr for ParseErrorPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fail" => Ok(ParseErrorPolicy::Fail),
+            "skip" => Ok(ParseErrorPolicy::Skip),
+            "quarantine" => Ok(ParseErrorPolicy::Quarantine),
+            other => Err(format!(
+                "unknown parse-error policy {other:?} (expected fail, skip, or quarantine)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for ParseErrorPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ParseErrorPolicy::Fail => "fail",
+            ParseErrorPolicy::Skip => "skip",
+            ParseErrorPolicy::Quarantine => "quarantine",
+        })
+    }
+}
+
+/// Maximum number of malformed lines a [`QuarantineReport`] retains;
+/// lines past the cap are still counted ([`QuarantineReport::dropped`])
+/// but their text is not kept, so a pathologically corrupt input cannot
+/// balloon memory.
+pub const QUARANTINE_CAPACITY: usize = 64;
+
+/// Longest retained excerpt of a quarantined line, in characters.
+const QUARANTINE_EXCERPT_CHARS: usize = 120;
+
+/// One malformed line retained by [`ParseErrorPolicy::Quarantine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedLine {
+    /// 1-based line number in the original text.
+    pub line: usize,
+    /// Which part of the line failed to parse.
+    pub kind: ParseLogErrorKind,
+    /// The offending text, truncated to a bounded excerpt.
+    pub text: String,
+}
+
+/// What lenient ingestion skipped: per-kind counters plus (in quarantine
+/// mode) a bounded buffer of the first offending lines. Strict runs
+/// produce an empty ([`QuarantineReport::is_clean`]) report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineReport {
+    skipped: u64,
+    counts: [u64; ParseLogErrorKind::COUNT],
+    lines: Vec<QuarantinedLine>,
+    dropped: u64,
+}
+
+impl QuarantineReport {
+    /// Total malformed lines skipped.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Malformed lines skipped for one error kind.
+    pub fn count(&self, kind: ParseLogErrorKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// The retained lines, ascending by line number (at most
+    /// [`QUARANTINE_CAPACITY`]; empty under [`ParseErrorPolicy::Skip`]).
+    pub fn lines(&self) -> &[QuarantinedLine] {
+        &self.lines
+    }
+
+    /// Malformed lines that exceeded the quarantine buffer and were
+    /// counted but not retained.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Whether nothing was skipped (always true for strict runs).
+    pub fn is_clean(&self) -> bool {
+        self.skipped == 0
+    }
+
+    fn record(&mut self, line: usize, error: &ParseLogError, text: &str, retain: bool) {
+        self.skipped += 1;
+        self.counts[error.kind().index()] += 1;
+        if retain && self.lines.len() < QUARANTINE_CAPACITY {
+            self.lines.push(QuarantinedLine {
+                line,
+                kind: error.kind(),
+                text: text.chars().take(QUARANTINE_EXCERPT_CHARS).collect(),
+            });
+        }
+    }
+
+    /// Merges shard-local reports in shard (= line) order, keeping the
+    /// globally first [`QUARANTINE_CAPACITY`] retained lines.
+    fn merge(reports: Vec<QuarantineReport>, retain: bool) -> QuarantineReport {
+        let mut merged = QuarantineReport::default();
+        for report in reports {
+            merged.skipped += report.skipped;
+            for (total, part) in merged.counts.iter_mut().zip(report.counts) {
+                *total += part;
+            }
+            for line in report.lines {
+                if merged.lines.len() < QUARANTINE_CAPACITY {
+                    merged.lines.push(line);
+                }
+            }
+        }
+        if retain {
+            merged.dropped = merged.skipped - merged.lines.len() as u64;
+        }
+        merged
+    }
+
+    /// Publishes the report's counters and retained lines through
+    /// `telemetry`. Emitted once, post-merge, on the driver thread, so
+    /// the JSONL stream is deterministic for any thread count.
+    fn observe(&self, telemetry: &Telemetry) {
+        if self.is_clean() {
+            return;
+        }
+        if let Some(registry) = telemetry.registry() {
+            registry.counter("ingest.lines_skipped").add(self.skipped);
+            for kind in ParseLogErrorKind::ALL {
+                let count = self.count(kind);
+                if count > 0 {
+                    registry
+                        .counter(&format!("ingest.parse_error.{}", kind.label()))
+                        .add(count);
+                }
+            }
+            if !self.lines.is_empty() {
+                registry
+                    .counter("ingest.quarantined")
+                    .add(self.lines.len() as u64);
+            }
+        }
+        for line in &self.lines {
+            telemetry.emit(
+                &Event::new("quarantine")
+                    .with("line", line.line)
+                    .with("kind", line.kind.label())
+                    .with("text", line.text.as_str()),
+            );
+        }
+        telemetry.emit(
+            &Event::new("quarantine_summary")
+                .with("skipped", self.skipped)
+                .with("retained", self.lines.len())
+                .with("dropped", self.dropped),
+        );
+    }
+}
 
 /// Parses a textual recovery log, sharding the line-level work over
 /// `pool`. Equivalent to [`RecoveryLog::from_text`] — same entries, same
@@ -94,6 +295,88 @@ fn parse_shard(
     Ok(entries)
 }
 
+/// [`parse_log`] with a [`ParseErrorPolicy`]: strict ([`ParseErrorPolicy::Fail`])
+/// behaves exactly like [`parse_log`] — same code path, same first
+/// error, byte-identical log — and returns an empty report. The lenient
+/// policies never fail on malformed lines; they skip them and describe
+/// what was skipped in the returned [`QuarantineReport`].
+///
+/// # Errors
+///
+/// Under [`ParseErrorPolicy::Fail`] only: the first [`ParseLogError`]
+/// of the text, exactly as [`parse_log`].
+pub fn parse_log_with_policy(
+    text: &str,
+    policy: ParseErrorPolicy,
+    pool: &WorkerPool,
+    telemetry: &Telemetry,
+) -> Result<(RecoveryLog, QuarantineReport), ParseLogError> {
+    if policy == ParseErrorPolicy::Fail {
+        return parse_log(text, pool, telemetry).map(|log| (log, QuarantineReport::default()));
+    }
+    let retain = policy == ParseErrorPolicy::Quarantine;
+    // Lenient parsing always prescans and shards — even sequentially —
+    // so line survival is decided identically for every thread count.
+    // (The prescan interns symptom descriptions by the third tab field
+    // alone, so a line whose timestamp or machine id is corrupt can
+    // still contribute its symptom to the catalog; that choice is the
+    // same for every pool size, which is what determinism requires.)
+    let symptoms = {
+        let _span = telemetry.span("catalog_prescan");
+        RecoveryLog::prescan_symptoms(text)
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    let ranges = chunk_ranges(lines.len(), pool.threads());
+    let shards = {
+        let _span = telemetry.span("parse_shards");
+        pool.map_indexed(ranges.len(), |i| {
+            parse_shard_lenient(
+                &lines[ranges[i].clone()],
+                ranges[i].start,
+                &symptoms,
+                retain,
+            )
+        })
+    };
+    let _span = telemetry.span("merge_entries");
+    let mut entries: Vec<LogEntry> = Vec::with_capacity(lines.len());
+    let mut reports = Vec::with_capacity(shards.len());
+    for (shard_entries, shard_report) in shards {
+        entries.extend(shard_entries);
+        reports.push(shard_report);
+    }
+    let report = QuarantineReport::merge(reports, retain);
+    report.observe(telemetry);
+    Ok((RecoveryLog::from_parts(entries, symptoms), report))
+}
+
+/// Parses one contiguous line range leniently: malformed lines are
+/// recorded in the shard-local report instead of failing the shard.
+/// Shard-local retained lines are already capped at
+/// [`QUARANTINE_CAPACITY`]; since shards are ascending contiguous
+/// ranges, merging in shard order and re-capping yields the globally
+/// first lines.
+fn parse_shard_lenient(
+    lines: &[&str],
+    first_line: usize,
+    symptoms: &SymptomCatalog,
+    retain: bool,
+) -> (Vec<LogEntry>, QuarantineReport) {
+    let mut entries = Vec::with_capacity(lines.len());
+    let mut report = QuarantineReport::default();
+    for (i, line) in lines.iter().enumerate() {
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match LogEntry::parse_line_interned(line, symptoms) {
+            Ok(entry) => entries.push(entry),
+            Err(error) => report.record(first_line + i + 1, &error, line, retain),
+        }
+    }
+    (entries, report)
+}
+
 /// Splits the log into complete recovery processes, sharding the
 /// per-machine extraction over `pool`. Equivalent to
 /// [`RecoveryLog::split_processes`] for every thread count.
@@ -136,6 +419,39 @@ pub fn ingest(
     let mut log = parse_log(text, pool, telemetry)?;
     let processes = split_processes(&mut log, pool, telemetry);
     Ok((log, processes))
+}
+
+/// Result of a policy-aware [`ingest_with_policy`] run.
+#[derive(Debug, Clone)]
+pub struct IngestOutcome {
+    /// The parsed log (malformed lines removed under lenient policies).
+    pub log: RecoveryLog,
+    /// Complete recovery processes extracted from the log.
+    pub processes: Vec<RecoveryProcess>,
+    /// What was skipped (empty under [`ParseErrorPolicy::Fail`]).
+    pub quarantine: QuarantineReport,
+}
+
+/// [`ingest`] with a [`ParseErrorPolicy`]: parse under the policy, then
+/// split into processes.
+///
+/// # Errors
+///
+/// Under [`ParseErrorPolicy::Fail`] only: the first [`ParseLogError`]
+/// of the text.
+pub fn ingest_with_policy(
+    text: &str,
+    policy: ParseErrorPolicy,
+    pool: &WorkerPool,
+    telemetry: &Telemetry,
+) -> Result<IngestOutcome, ParseLogError> {
+    let (mut log, quarantine) = parse_log_with_policy(text, policy, pool, telemetry)?;
+    let processes = split_processes(&mut log, pool, telemetry);
+    Ok(IngestOutcome {
+        log,
+        processes,
+        quarantine,
+    })
 }
 
 #[cfg(test)]
@@ -188,6 +504,139 @@ mod tests {
             assert_eq!(err.line(), expected.line(), "{threads} threads");
             assert_eq!(err.line(), Some(lines / 3 + 1));
         }
+    }
+
+    #[test]
+    fn policy_parses_from_cli_spellings() {
+        assert_eq!("fail".parse(), Ok(ParseErrorPolicy::Fail));
+        assert_eq!("skip".parse(), Ok(ParseErrorPolicy::Skip));
+        assert_eq!("quarantine".parse(), Ok(ParseErrorPolicy::Quarantine));
+        assert!("lenient".parse::<ParseErrorPolicy>().is_err());
+        assert_eq!(ParseErrorPolicy::default(), ParseErrorPolicy::Fail);
+        assert_eq!(ParseErrorPolicy::Quarantine.to_string(), "quarantine");
+    }
+
+    #[test]
+    fn strict_policy_is_the_existing_parser() {
+        let text = sample_text();
+        let expected = RecoveryLog::from_text(&text).unwrap();
+        for threads in [1, 4] {
+            let pool = WorkerPool::new(threads);
+            let (log, report) =
+                parse_log_with_policy(&text, ParseErrorPolicy::Fail, &pool, &Telemetry::disabled())
+                    .unwrap();
+            assert_eq!(log, expected, "{threads} threads");
+            assert!(report.is_clean());
+        }
+    }
+
+    #[test]
+    fn lenient_parse_skips_and_reports_malformed_lines() {
+        let text = sample_text();
+        let mut corrupted: Vec<String> = text.lines().map(str::to_owned).collect();
+        let total = corrupted.len();
+        corrupted[total / 4] = "garbage without tabs".into();
+        corrupted[total / 2] = "also garbage".into();
+        let corrupted = corrupted.join("\n");
+        let mut baseline: Option<(RecoveryLog, QuarantineReport)> = None;
+        for threads in [1, 2, 8] {
+            let pool = WorkerPool::new(threads);
+            let (log, report) = parse_log_with_policy(
+                &corrupted,
+                ParseErrorPolicy::Quarantine,
+                &pool,
+                &Telemetry::disabled(),
+            )
+            .unwrap();
+            assert_eq!(report.skipped(), 2, "{threads} threads");
+            // A tab-less line dies parsing its first (timestamp) field.
+            assert_eq!(report.count(ParseLogErrorKind::Timestamp), 2);
+            assert_eq!(report.lines().len(), 2);
+            assert_eq!(report.lines()[0].line, total / 4 + 1);
+            assert_eq!(report.lines()[0].text, "garbage without tabs");
+            assert_eq!(report.dropped(), 0);
+            match &baseline {
+                None => baseline = Some((log, report)),
+                Some((first_log, first_report)) => {
+                    assert_eq!(&log, first_log, "{threads} threads");
+                    assert_eq!(&report, first_report, "{threads} threads");
+                }
+            }
+        }
+        // Skip mode: same counters, no retained lines.
+        let (_, skip_report) = parse_log_with_policy(
+            &corrupted,
+            ParseErrorPolicy::Skip,
+            &WorkerPool::new(2),
+            &Telemetry::disabled(),
+        )
+        .unwrap();
+        assert_eq!(skip_report.skipped(), 2);
+        assert!(skip_report.lines().is_empty());
+        assert_eq!(skip_report.dropped(), 0);
+    }
+
+    #[test]
+    fn lenient_parse_of_a_clean_log_matches_strict() {
+        let text = sample_text();
+        let strict = RecoveryLog::from_text(&text).unwrap();
+        for policy in [ParseErrorPolicy::Skip, ParseErrorPolicy::Quarantine] {
+            let (log, report) =
+                parse_log_with_policy(&text, policy, &WorkerPool::new(3), &Telemetry::disabled())
+                    .unwrap();
+            assert_eq!(log, strict, "{policy}");
+            assert!(report.is_clean(), "{policy}");
+        }
+    }
+
+    #[test]
+    fn quarantine_buffer_is_bounded() {
+        let mut text = String::from("# all garbage\n");
+        let total = super::QUARANTINE_CAPACITY + 20;
+        for i in 0..total {
+            text.push_str(&format!("junk line {i}\n"));
+        }
+        let (log, report) = parse_log_with_policy(
+            &text,
+            ParseErrorPolicy::Quarantine,
+            &WorkerPool::new(4),
+            &Telemetry::disabled(),
+        )
+        .unwrap();
+        assert!(log.is_empty());
+        assert_eq!(report.skipped(), total as u64);
+        assert_eq!(report.lines().len(), super::QUARANTINE_CAPACITY);
+        assert_eq!(report.dropped(), 20);
+        // The retained lines are the globally first ones, in order.
+        for (i, line) in report.lines().iter().enumerate() {
+            assert_eq!(
+                line.line,
+                i + 2,
+                "line numbers ascend from after the comment"
+            );
+        }
+    }
+
+    #[test]
+    fn quarantine_telemetry_counts_by_kind() {
+        let text = sample_text();
+        let mut corrupted: Vec<String> = text.lines().map(str::to_owned).collect();
+        // A valid time and machine with no third field: Entry kind.
+        corrupted[3] = "2006-01-01 00:00:00\tM0007".into();
+        let corrupted = corrupted.join("\n");
+        let telemetry = Telemetry::new();
+        let outcome = ingest_with_policy(
+            &corrupted,
+            ParseErrorPolicy::Quarantine,
+            &WorkerPool::new(2),
+            &telemetry,
+        )
+        .unwrap();
+        assert_eq!(outcome.quarantine.skipped(), 1);
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.counters["ingest.lines_skipped"], 1);
+        assert_eq!(snap.counters["ingest.parse_error.entry"], 1);
+        assert_eq!(snap.counters["ingest.quarantined"], 1);
     }
 
     #[test]

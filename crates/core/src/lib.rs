@@ -54,6 +54,7 @@ pub mod error_type;
 pub mod evaluate;
 pub mod exact;
 pub mod experiment;
+pub mod fault;
 pub mod ingest;
 pub mod parallel;
 pub mod persist;
@@ -66,7 +67,9 @@ pub mod trainer;
 
 pub use error_type::{ErrorType, ErrorTypeRanking, NoiseFilter};
 pub use evaluate::{time_ordered_split, EvaluationReport, TypeEvaluation};
-pub use parallel::WorkerPool;
+pub use fault::{CorruptionMode, LoopFaultPlan, PanicInjector};
+pub use ingest::{ParseErrorPolicy, QuarantineReport};
+pub use parallel::{PoolError, WorkerPool};
 pub use platform::{AttemptOutcome, CostEstimation, ReplayCache, SimulationPlatform};
 pub use policy::{DecidePolicy, HybridPolicy, TrainedPolicy, UserStatePolicy};
 pub use state::{ActionMultiset, RecoveryState};

@@ -14,13 +14,32 @@
 //!   ladder;
 //! * each window reports its realized MTTR, so the improvement — and the
 //!   adaptation to any drift between windows — is directly observable.
+//!
+//! # Degraded mode
+//!
+//! A continuous loop that dies on one bad window is not continuous. Each
+//! window therefore records a [`WindowStatus`]: `Trained` when the full
+//! simulate → ingest → retrain cycle succeeded, or
+//! [`WindowStatus::FellBack`] with a typed [`FallbackReason`] when part
+//! of it failed — an empty window, nothing trainable after filtering, or
+//! a panic inside simulation or retraining (contained with
+//! `catch_unwind`). On any fallback the loop keeps driving the **last
+//! good policy** and simply tries again next window; it never aborts.
+//! Fallbacks are observable through the per-window `window` event
+//! (`status`/`reason` fields) and the `loop.fallbacks` /
+//! `loop.fallback.<reason>` counters. Fault tests script failures into
+//! the loop with [`ContinuousLoopConfig::faults`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use recovery_simlog::{
-    stats, ClusterConfig, ClusterSim, FaultCatalog, RecoveryProcess, SimDuration, UserDefinedPolicy,
+    stats, ClusterConfig, ClusterSim, FaultCatalog, RecoveryLog, RecoveryProcess, SimDuration,
+    UserDefinedPolicy,
 };
 use recovery_telemetry::{Event, Telemetry};
 
 use crate::error_type::NoiseFilter;
+use crate::fault::LoopFaultPlan;
 use crate::policy::{HybridPolicy, LivePolicy, TrainedPolicy, UserStatePolicy};
 use crate::selection_tree::{SelectionTreeConfig, SelectionTreeTrainer};
 use crate::trainer::{OfflineTrainer, TrainerConfig};
@@ -46,6 +65,9 @@ pub struct ContinuousLoopConfig {
     /// Worker threads for log ingestion and retraining within each
     /// window. Outcomes are byte-identical for every value.
     pub threads: usize,
+    /// Scripted faults for robustness tests ([`LoopFaultPlan::none`] in
+    /// production: injects nothing, costs nothing).
+    pub faults: LoopFaultPlan,
 }
 
 impl ContinuousLoopConfig {
@@ -60,6 +82,7 @@ impl ContinuousLoopConfig {
             top_k: 40,
             seed: 0x100B,
             threads: crate::parallel::WorkerPool::available().threads(),
+            faults: LoopFaultPlan::none(),
         }
     }
 
@@ -81,6 +104,69 @@ impl ContinuousLoopConfig {
     }
 }
 
+/// Why a window fell back to the last good policy instead of completing
+/// its retraining cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The window produced no complete recovery processes.
+    EmptyWindow,
+    /// Noise filtering left no error types to train on.
+    NoTrainableTypes,
+    /// The retraining step panicked (contained by `catch_unwind`).
+    TrainingPanicked,
+    /// The window's simulation panicked (contained by `catch_unwind`).
+    SimulationPanicked,
+}
+
+impl FallbackReason {
+    /// A stable lower-case label for metric names and structured events.
+    pub fn label(self) -> &'static str {
+        match self {
+            FallbackReason::EmptyWindow => "empty_window",
+            FallbackReason::NoTrainableTypes => "no_trainable_types",
+            FallbackReason::TrainingPanicked => "training_panicked",
+            FallbackReason::SimulationPanicked => "simulation_panicked",
+        }
+    }
+}
+
+/// Whether a window's simulate → ingest → retrain cycle completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowStatus {
+    /// The full cycle succeeded (for the final window: simulation and
+    /// ingestion succeeded; it has no retraining step).
+    Trained,
+    /// Part of the cycle failed; the loop kept the last good policy and
+    /// moved on.
+    FellBack {
+        /// What failed.
+        reason: FallbackReason,
+    },
+}
+
+impl WindowStatus {
+    /// Whether this window completed its full cycle.
+    pub fn is_trained(self) -> bool {
+        self == WindowStatus::Trained
+    }
+
+    /// The fallback reason, if the window fell back.
+    pub fn fallback_reason(self) -> Option<FallbackReason> {
+        match self {
+            WindowStatus::Trained => None,
+            WindowStatus::FellBack { reason } => Some(reason),
+        }
+    }
+
+    /// A stable label: `trained`, or the fallback reason's label.
+    pub fn label(self) -> &'static str {
+        match self {
+            WindowStatus::Trained => "trained",
+            WindowStatus::FellBack { reason } => reason.label(),
+        }
+    }
+}
+
 /// The outcome of one observation window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WindowOutcome {
@@ -91,11 +177,13 @@ pub struct WindowOutcome {
     /// Realized mean time to repair in the window.
     pub mttr: SimDuration,
     /// Whether a learned policy was driving this window (false only for
-    /// window 0).
+    /// window 0 and windows after a failed first retraining).
     pub learned_policy: bool,
     /// Number of state-action entries in the deployed policy (0 for
     /// window 0).
     pub policy_entries: usize,
+    /// Whether the window's cycle completed or fell back.
+    pub status: WindowStatus,
 }
 
 /// Runs the closed loop against `catalog` and returns one row per window.
@@ -148,37 +236,90 @@ pub fn run_continuous_loop_observed(
             .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(window as u64);
-        let (mut log, policy_entries) = {
+        let learned_policy = current.is_some();
+        let policy_entries = current.as_ref().map_or(0, |p| p.q().len());
+        let mut status = WindowStatus::Trained;
+
+        // Simulation: panics (injected or real) are contained so a bad
+        // window degrades instead of killing the loop.
+        let simulated = {
             let _span = telemetry.span("simulate_window");
-            match &current {
-                None => {
-                    let sim = ClusterSim::new(
-                        catalog,
-                        UserDefinedPolicy::default(),
-                        config.cluster.clone(),
-                        window_seed,
-                    );
-                    (sim.run().0, 0)
+            catch_unwind(AssertUnwindSafe(|| {
+                if config.faults.trips_simulation(window) {
+                    panic!("faultline: injected simulation panic in window {window}");
                 }
-                Some(policy) => {
-                    let entries = policy.q().len();
-                    let live = LivePolicy::new(HybridPolicy::new(
-                        policy.clone(),
-                        UserStatePolicy::default(),
-                    ));
-                    let sim = ClusterSim::new(catalog, live, config.cluster.clone(), window_seed);
-                    (sim.run().0, entries)
+                if config.faults.empties_window(window) {
+                    return RecoveryLog::new();
                 }
+                match &current {
+                    None => {
+                        let sim = ClusterSim::new(
+                            catalog,
+                            UserDefinedPolicy::default(),
+                            config.cluster.clone(),
+                            window_seed,
+                        );
+                        sim.run().0
+                    }
+                    Some(policy) => {
+                        let live = LivePolicy::new(HybridPolicy::new(
+                            policy.clone(),
+                            UserStatePolicy::default(),
+                        ));
+                        let sim =
+                            ClusterSim::new(catalog, live, config.cluster.clone(), window_seed);
+                        sim.run().0
+                    }
+                }
+            }))
+        };
+        let mut log = match simulated {
+            Ok(log) => log,
+            Err(_) => {
+                status = WindowStatus::FellBack {
+                    reason: FallbackReason::SimulationPanicked,
+                };
+                RecoveryLog::new()
             }
         };
         let processes = crate::ingest::split_processes(&mut log, &pool, telemetry);
+        if status.is_trained() && processes.is_empty() {
+            status = WindowStatus::FellBack {
+                reason: FallbackReason::EmptyWindow,
+            };
+        }
+        let processes_len = processes.len();
+        let mttr = stats::mttr(&processes);
+
+        // Feed the window's log back and retrain for the next window —
+        // unless the window already fell back (nothing new to learn
+        // from): the last good policy simply stays deployed.
+        accumulated.extend(processes);
+        accumulated.sort_by_key(|p| (p.start(), p.machine()));
+        if window + 1 < config.windows && status.is_trained() {
+            let _span = telemetry.span("retrain");
+            match retrain(config, &accumulated, window, telemetry) {
+                Ok(policy) => current = Some(policy),
+                Err(reason) => status = WindowStatus::FellBack { reason },
+            }
+        }
+
         let outcome = WindowOutcome {
             window,
-            processes: processes.len(),
-            mttr: stats::mttr(&processes),
-            learned_policy: current.is_some(),
+            processes: processes_len,
+            mttr,
+            learned_policy,
             policy_entries,
+            status,
         };
+        if let Some(reason) = status.fallback_reason() {
+            if let Some(registry) = telemetry.registry() {
+                registry.counter("loop.fallbacks").inc();
+                registry
+                    .counter(&format!("loop.fallback.{}", reason.label()))
+                    .inc();
+            }
+        }
         if telemetry.is_enabled() {
             telemetry.emit(
                 &Event::new("window")
@@ -186,28 +327,51 @@ pub fn run_continuous_loop_observed(
                     .with("processes", outcome.processes)
                     .with("mttr_s", outcome.mttr.as_secs_f64())
                     .with("learned_policy", outcome.learned_policy)
-                    .with("policy_entries", outcome.policy_entries),
+                    .with("policy_entries", outcome.policy_entries)
+                    .with("status", outcome.status.label()),
             );
         }
         outcomes.push(outcome);
-
-        // Feed the window's log back and retrain for the next window.
-        accumulated.extend(processes);
-        accumulated.sort_by_key(|p| (p.start(), p.machine()));
-        if window + 1 < config.windows {
-            let _span = telemetry.span("retrain");
-            let outcome = NoiseFilter::new(config.minp).partition(accumulated.clone());
-            let ranking = crate::error_type::ErrorTypeRanking::from_processes(&outcome.clean);
-            let types = ranking.top_k(config.top_k);
-            let trainer = OfflineTrainer::new(&outcome.clean, config.trainer.clone())
-                .with_threads(config.threads)
-                .with_observer(telemetry.observer_handle());
-            let tree = SelectionTreeTrainer::new(&trainer, config.tree.clone());
-            let (policy, _) = tree.train(&types);
-            current = Some(policy);
-        }
     }
     outcomes
+}
+
+/// One retraining step over everything accumulated so far. Failures —
+/// injected panics, filter blackouts, or genuinely nothing trainable —
+/// come back as a typed [`FallbackReason`] so the caller keeps the last
+/// good policy.
+fn retrain(
+    config: &ContinuousLoopConfig,
+    accumulated: &[RecoveryProcess],
+    window: usize,
+    telemetry: &Telemetry,
+) -> Result<TrainedPolicy, FallbackReason> {
+    let trained = catch_unwind(AssertUnwindSafe(|| {
+        if config.faults.trips_retrain(window) {
+            panic!("faultline: injected retrain panic after window {window}");
+        }
+        let outcome = NoiseFilter::new(config.minp).partition(accumulated.to_vec());
+        let clean = if config.faults.blacks_out_filter(window) {
+            Vec::new()
+        } else {
+            outcome.clean
+        };
+        let ranking = crate::error_type::ErrorTypeRanking::from_processes(&clean);
+        let types = ranking.top_k(config.top_k);
+        if types.is_empty() {
+            return Err(FallbackReason::NoTrainableTypes);
+        }
+        let trainer = OfflineTrainer::new(&clean, config.trainer.clone())
+            .with_threads(config.threads)
+            .with_observer(telemetry.observer_handle());
+        let tree = SelectionTreeTrainer::new(&trainer, config.tree.clone());
+        let (policy, _) = tree.train(&types);
+        Ok(policy)
+    }));
+    match trained {
+        Ok(result) => result,
+        Err(_) => Err(FallbackReason::TrainingPanicked),
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +428,90 @@ mod tests {
         let a = run_continuous_loop(&catalog, &config);
         let b = run_continuous_loop(&catalog, &config);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trained_windows_report_trained_status() {
+        let catalog = CatalogConfig::default().with_fault_types(8).generate(5);
+        let config = ContinuousLoopConfig {
+            windows: 2,
+            top_k: 8,
+            trainer: TrainerConfig::fast(),
+            ..ContinuousLoopConfig::new(small_cluster())
+        };
+        let outcomes = run_continuous_loop(&catalog, &config);
+        for w in &outcomes {
+            assert_eq!(w.status, WindowStatus::Trained, "window {}", w.window);
+            assert!(w.status.is_trained());
+            assert_eq!(w.status.fallback_reason(), None);
+        }
+    }
+
+    #[test]
+    fn empty_window_falls_back_and_loop_completes() {
+        // The minimum two-window loop with window 0 producing nothing:
+        // no data, no retraining — yet the loop must finish.
+        let catalog = CatalogConfig::default().with_fault_types(4).generate(3);
+        let config = ContinuousLoopConfig {
+            windows: 2,
+            top_k: 4,
+            trainer: TrainerConfig::fast(),
+            faults: crate::fault::LoopFaultPlan::none()
+                .with_empty_window(0)
+                .with_empty_window(1),
+            ..ContinuousLoopConfig::new(small_cluster())
+        };
+        let outcomes = run_continuous_loop(&catalog, &config);
+        assert_eq!(outcomes.len(), 2);
+        for w in &outcomes {
+            assert_eq!(
+                w.status.fallback_reason(),
+                Some(FallbackReason::EmptyWindow),
+                "window {}",
+                w.window
+            );
+            assert_eq!(w.processes, 0);
+            assert_eq!(w.mttr, SimDuration::ZERO);
+            assert!(!w.learned_policy, "no policy was ever trained");
+        }
+    }
+
+    #[test]
+    fn filtered_out_window_falls_back_with_no_trainable_types() {
+        // Every accumulated process is rejected by the (blacked-out)
+        // noise filter: the retraining step finds nothing to train.
+        let catalog = CatalogConfig::default().with_fault_types(4).generate(3);
+        let config = ContinuousLoopConfig {
+            windows: 2,
+            top_k: 4,
+            trainer: TrainerConfig::fast(),
+            faults: crate::fault::LoopFaultPlan::none().with_filter_blackout(0),
+            ..ContinuousLoopConfig::new(small_cluster())
+        };
+        let outcomes = run_continuous_loop(&catalog, &config);
+        assert_eq!(
+            outcomes[0].status.fallback_reason(),
+            Some(FallbackReason::NoTrainableTypes)
+        );
+        assert!(outcomes[0].processes > 0, "the window itself had data");
+        // Window 1 runs under the user policy (nothing was trained) but
+        // completes its own cycle normally.
+        assert!(!outcomes[1].learned_policy);
+        assert_eq!(outcomes[1].status, WindowStatus::Trained);
+    }
+
+    #[test]
+    fn status_labels_are_stable() {
+        assert_eq!(WindowStatus::Trained.label(), "trained");
+        for (reason, label) in [
+            (FallbackReason::EmptyWindow, "empty_window"),
+            (FallbackReason::NoTrainableTypes, "no_trainable_types"),
+            (FallbackReason::TrainingPanicked, "training_panicked"),
+            (FallbackReason::SimulationPanicked, "simulation_panicked"),
+        ] {
+            assert_eq!(reason.label(), label);
+            assert_eq!(WindowStatus::FellBack { reason }.label(), label);
+        }
     }
 
     #[test]

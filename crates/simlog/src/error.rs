@@ -14,13 +14,55 @@ pub struct ParseLogError {
     line: Option<usize>,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ParseLogErrorKind {
+/// The category of a [`ParseLogError`]: which part of the log line failed.
+///
+/// Exposed so lenient-ingestion quarantine buffers can keep per-kind
+/// counters without string-matching [`std::fmt::Display`] output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ParseLogErrorKind {
+    /// The timestamp field did not parse.
     Timestamp,
+    /// The machine-id field did not parse.
     Machine,
+    /// A repair-action token was malformed.
     Action,
+    /// The line did not have the three tab-separated fields of Table 1.
     Entry,
+    /// The description was not a valid symptom (no `category:component`
+    /// colon, or missing from a prescanned read-only catalog).
     Symptom,
+}
+
+impl ParseLogErrorKind {
+    /// Every kind, in a fixed order ([`ParseLogErrorKind::index`] is the
+    /// position in this array).
+    pub const ALL: [ParseLogErrorKind; 5] = [
+        ParseLogErrorKind::Timestamp,
+        ParseLogErrorKind::Machine,
+        ParseLogErrorKind::Action,
+        ParseLogErrorKind::Entry,
+        ParseLogErrorKind::Symptom,
+    ];
+
+    /// Number of kinds (the length of [`ParseLogErrorKind::ALL`]).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// This kind's position in [`ParseLogErrorKind::ALL`] — a stable
+    /// dense index for counter arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// A stable lower-case label for metric names and structured events.
+    pub fn label(self) -> &'static str {
+        match self {
+            ParseLogErrorKind::Timestamp => "timestamp",
+            ParseLogErrorKind::Machine => "machine",
+            ParseLogErrorKind::Action => "action",
+            ParseLogErrorKind::Entry => "entry",
+            ParseLogErrorKind::Symptom => "symptom",
+        }
+    }
 }
 
 impl ParseLogError {
@@ -67,6 +109,11 @@ impl ParseLogError {
     pub fn fragment(&self) -> &str {
         &self.fragment
     }
+
+    /// Which part of the line failed, as a typed category.
+    pub fn kind(&self) -> ParseLogErrorKind {
+        self.kind
+    }
 }
 
 impl fmt::Display for ParseLogError {
@@ -86,6 +133,9 @@ impl fmt::Display for ParseLogError {
     }
 }
 
+// `source()` keeps its `None` default on purpose: the parser classifies
+// failures itself rather than wrapping an inner error, so the kind plus
+// the fragment carry everything there is to know.
 impl Error for ParseLogError {}
 
 #[cfg(test)]
@@ -101,6 +151,32 @@ mod tests {
         assert!(msg.contains("line 7"), "{msg}");
         assert_eq!(err.line(), Some(7));
         assert_eq!(err.fragment(), "yesterday");
+    }
+
+    #[test]
+    fn kind_is_typed_not_stringly() {
+        assert_eq!(
+            ParseLogError::timestamp("x").kind(),
+            ParseLogErrorKind::Timestamp
+        );
+        assert_eq!(
+            ParseLogError::machine("x").kind(),
+            ParseLogErrorKind::Machine
+        );
+        assert_eq!(ParseLogError::entry("x").kind(), ParseLogErrorKind::Entry);
+        assert_eq!(
+            ParseLogError::symptom("x").kind(),
+            ParseLogErrorKind::Symptom
+        );
+        assert_eq!(ParseLogError::action("x").kind(), ParseLogErrorKind::Action);
+        for (i, kind) in ParseLogErrorKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind.index(), i);
+            assert!(!kind.label().is_empty());
+        }
+        assert_eq!(ParseLogErrorKind::COUNT, ParseLogErrorKind::ALL.len());
+        // No inner error to chain to.
+        use std::error::Error;
+        assert!(ParseLogError::entry("x").source().is_none());
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub use action::RepairAction;
 pub use availability::{availability, availability_by_machine, AvailabilityReport};
 pub use catalog::{CatalogConfig, FaultCatalog};
 pub use cluster::{ClusterConfig, ClusterSim, GroundTruth, ProcessTruth};
-pub use error::ParseLogError;
+pub use error::{ParseLogError, ParseLogErrorKind};
 pub use event::{LogEntry, LogEvent};
 pub use fault::{FaultId, FaultSpec};
 pub use generator::{GeneratedLog, GeneratorConfig, LogGenerator};
