@@ -1,0 +1,214 @@
+//! Telemetry `emit` overhead with the live event bus attached.
+//!
+//! The observability plane's purity contract says attaching the bus may
+//! never perturb training; this bench quantifies the *cost* side of that
+//! bargain: nanoseconds per emitted event and events per second for each
+//! configuration a run can be in:
+//!
+//! * **disabled** — `Telemetry::disabled()`: the early-return path every
+//!   unobserved run pays.
+//! * **sink** — a `--metrics-out` JSONL sink only (buffered file write).
+//! * **bus_drained** — an event bus with one healthy subscriber drained
+//!   by a background thread (the `--metrics-listen` `/events` shape).
+//! * **bus_stalled** — a bus whose only subscriber has a full queue and
+//!   never drains: every publish takes the drop path. This bounds the
+//!   damage a dead scraper can do to a run.
+//! * **sink_and_bus** — both attached, the busiest real configuration.
+//!
+//! In sampling mode (`cargo bench -- --bench`) the measurements are
+//! written to `BENCH_telemetry.json` at the workspace root for the
+//! README perf table.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, Criterion};
+use recovery_telemetry::{Event, EventBus, JsonlSink, Subscription, Telemetry};
+
+/// The representative event of the hot path: a per-sweep training
+/// progress line, the highest-frequency emit in the workspace.
+fn bench_event(i: u64) -> Event {
+    Event::new("sweep")
+        .with("sweep", i)
+        .with("q_delta", 0.015625)
+        .with("temperature", 0.5)
+}
+
+fn emit_n(telemetry: &Telemetry, n: u64) {
+    for i in 0..n {
+        telemetry.emit(&bench_event(i));
+    }
+}
+
+fn sink_to_temp(tag: &str) -> JsonlSink {
+    let path = std::env::temp_dir().join(format!(
+        "autorecover-bench-telemetry-{tag}-{}.jsonl",
+        std::process::id()
+    ));
+    JsonlSink::to_file(path.to_str().unwrap()).expect("temp sink")
+}
+
+/// Drains a subscription on a background thread until asked to stop, so
+/// the drained-bus arm measures publish cost, not queue-full drops.
+struct Drainer {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<u64>>,
+}
+
+impl Drainer {
+    fn spawn(sub: Subscription) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_in_thread = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let mut seen = 0u64;
+            while !stop_in_thread.load(Ordering::Relaxed) {
+                match sub.recv_timeout(Duration::from_millis(5)) {
+                    Some(_) => seen += 1,
+                    None if sub.is_closed() => break,
+                    None => {}
+                }
+            }
+            seen + sub.drain().len() as u64
+        });
+        Drainer {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    fn finish(mut self) -> u64 {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle
+            .take()
+            .expect("unfinished")
+            .join()
+            .expect("drainer")
+    }
+}
+
+impl Drop for Drainer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn bench_emit(c: &mut Criterion) {
+    const N: u64 = 1_000;
+    let mut group = c.benchmark_group("telemetry_emit");
+    group.sample_size(20);
+
+    let disabled = Telemetry::disabled();
+    group.bench_function("disabled", |b| b.iter(|| emit_n(&disabled, N)));
+
+    let sink_only = Telemetry::with_sink(sink_to_temp("criterion"));
+    group.bench_function("sink", |b| b.iter(|| emit_n(&sink_only, N)));
+
+    let bus = EventBus::default();
+    let drainer = Drainer::spawn(bus.subscribe_with_capacity(1 << 16));
+    let bus_only = Telemetry::with_parts(None, Some(bus.clone()));
+    group.bench_function("bus_drained", |b| b.iter(|| emit_n(&bus_only, N)));
+    bus.close();
+    drainer.finish();
+
+    let stalled_bus = EventBus::default();
+    let _stalled = stalled_bus.subscribe_with_capacity(1);
+    let stalled = Telemetry::with_parts(None, Some(stalled_bus));
+    group.bench_function("bus_stalled", |b| b.iter(|| emit_n(&stalled, N)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_emit);
+
+/// One recorded measurement: best-of-`reps` wall time over `n` emits.
+struct Measured {
+    ns_per_event: f64,
+    events_per_sec: f64,
+}
+
+fn measure(n: u64, reps: u32, telemetry: &Telemetry) -> Measured {
+    emit_n(telemetry, n); // warm-up outside the counted window
+    let best = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            emit_n(telemetry, n);
+            start.elapsed()
+        })
+        .min()
+        .expect("reps > 0");
+    let ns = best.as_nanos() as f64 / n as f64;
+    Measured {
+        ns_per_event: ns,
+        events_per_sec: 1e9 / ns,
+    }
+}
+
+fn main() {
+    benches();
+    // `cargo test` runs bench binaries without `--bench`; only the real
+    // bench invocation measures and records the comparison file.
+    if !std::env::args().any(|a| a == "--bench") {
+        return;
+    }
+    const N: u64 = 100_000;
+    const REPS: u32 = 5;
+
+    let disabled = measure(N, REPS, &Telemetry::disabled());
+
+    let sink_only = Telemetry::with_sink(sink_to_temp("record-sink"));
+    let sink = measure(N, REPS, &sink_only);
+
+    let bus = EventBus::default();
+    let drainer = Drainer::spawn(bus.subscribe_with_capacity(1 << 16));
+    let bus_telemetry = Telemetry::with_parts(None, Some(bus.clone()));
+    let bus_drained = measure(N, REPS, &bus_telemetry);
+    bus.close();
+    let drained_seen = drainer.finish();
+    assert!(
+        drained_seen > 0,
+        "the draining subscriber saw none of the published events"
+    );
+
+    let stalled_bus = EventBus::default();
+    let stalled_sub = stalled_bus.subscribe_with_capacity(1);
+    let stalled_telemetry = Telemetry::with_parts(None, Some(stalled_bus.clone()));
+    let bus_stalled = measure(N, REPS, &stalled_telemetry);
+    assert!(
+        stalled_sub.dropped() > 0,
+        "the stalled arm never exercised the drop path"
+    );
+
+    let both_bus = EventBus::default();
+    let both_drainer = Drainer::spawn(both_bus.subscribe_with_capacity(1 << 16));
+    let both_telemetry =
+        Telemetry::with_parts(Some(sink_to_temp("record-both")), Some(both_bus.clone()));
+    let sink_and_bus = measure(N, REPS, &both_telemetry);
+    both_bus.close();
+    both_drainer.finish();
+
+    let arm = |name: &str, m: &Measured| {
+        format!(
+            "\"{name}\":{{\"ns_per_event\":{:.1},\"events_per_sec\":{:.0}}}",
+            m.ns_per_event, m.events_per_sec
+        )
+    };
+    let json = format!(
+        "{{\"bench\":\"telemetry\",\"events\":{N},{},{},{},{},{}}}\n",
+        arm("disabled", &disabled),
+        arm("sink", &sink),
+        arm("bus_drained", &bus_drained),
+        arm("bus_stalled", &bus_stalled),
+        arm("sink_and_bus", &sink_and_bus),
+    );
+    // Bench binaries run with the package directory as CWD; anchor the
+    // result file at the workspace root instead.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => print!("wrote BENCH_telemetry.json: {json}"),
+        Err(e) => eprintln!("could not write BENCH_telemetry.json: {e}"),
+    }
+}

@@ -9,7 +9,7 @@ use recovery_core::experiment::{fig3_cohesion_curve, ExperimentContext, TestRun,
 use recovery_core::ingest::{self, ParseErrorPolicy};
 use recovery_core::parallel::WorkerPool;
 use recovery_core::persist::{policy_from_text, policy_to_text};
-use recovery_core::pipeline::{run_continuous_loop_observed, ContinuousLoopConfig};
+use recovery_core::pipeline::{run_continuous_loop_full, ContinuousLoopConfig};
 use recovery_core::platform::{CostEstimation, SimulationPlatform};
 use recovery_core::policy::{HybridPolicy, LivePolicy, TrainedPolicy, UserStatePolicy};
 use recovery_core::selection_tree::{SelectionTreeConfig, SelectionTreeTrainer};
@@ -596,6 +596,7 @@ pub fn continuous_loop(args: &Args, session: &Session) -> Result<(), String> {
     let scale: f64 = args.flag_or("scale", 0.02f64)?;
     let seed: u64 = args.flag_or("seed", 0x2007_D50Au64)?;
     let threads = parse_threads(args)?;
+    let policy_out = args.flag("policy-out").map(str::to_owned);
     if windows < 2 {
         return Err("--windows must be at least 2".into());
     }
@@ -612,13 +613,23 @@ pub fn continuous_loop(args: &Args, session: &Session) -> Result<(), String> {
         "running {windows} observation windows of {} machines ...",
         config.cluster.machines
     ));
-    let outcomes = run_continuous_loop_observed(&catalog, &config, &session.telemetry);
+    // The summary table surfaces pool/fallback counters even without
+    // --metrics-out: fall back to a local registry-only handle.
+    // Observation is purely passive, so outcomes are identical either way.
+    let local_telemetry = if session.telemetry.is_enabled() {
+        None
+    } else {
+        Some(recovery_telemetry::Telemetry::new())
+    };
+    let telemetry = local_telemetry.as_ref().unwrap_or(&session.telemetry);
+    let run = run_continuous_loop_full(&catalog, &config, telemetry);
+    let outcomes = &run.outcomes;
     println!(
         "{:>6}  {:>9}  {:>10}  {:>8}  {:>9}  status",
         "window", "processes", "mttr", "policy", "entries"
     );
     let baseline = outcomes[0].mttr.as_secs_f64();
-    for w in &outcomes {
+    for w in outcomes {
         println!(
             "{:>6}  {:>9}  {:>10}  {:>8}  {:>9}  {}",
             w.window,
@@ -629,14 +640,34 @@ pub fn continuous_loop(args: &Args, session: &Session) -> Result<(), String> {
             w.status.label()
         );
     }
+    let counter = |name: &str| {
+        telemetry
+            .registry()
+            .map_or(0, |registry| registry.counter(name).get())
+    };
+    println!(
+        "\npool: {} panics, {} retries, {} exhausted | loop: {} fallbacks",
+        counter("pool.panics"),
+        counter("pool.retries"),
+        counter("pool.exhausted"),
+        counter("loop.fallbacks"),
+    );
     if let Some(last) = outcomes.last() {
         if baseline > 0.0 {
             println!(
-                "
-final window MTTR is {:.1}% of the baseline window",
+                "final window MTTR is {:.1}% of the baseline window",
                 100.0 * last.mttr.as_secs_f64() / baseline
             );
         }
+    }
+    if let Some(out) = policy_out {
+        let policy = run
+            .policy
+            .as_ref()
+            .ok_or("--policy-out: no window completed a retraining step, nothing to write")?;
+        let text = policy_to_text(policy, catalog.symptoms());
+        fs::write(&out, &text).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out}: {} state-action entries", policy.q().len());
     }
     Ok(())
 }

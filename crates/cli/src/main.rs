@@ -6,6 +6,7 @@
 mod args;
 mod commands;
 mod session;
+mod watch;
 
 use std::process::ExitCode;
 
@@ -66,10 +67,20 @@ COMMANDS:
       Structured diff between two policy files: states added/removed and
       states whose chosen action flipped, with both costs.
 
-  loop [--windows N] [--scale F] [--seed N]
+  loop [--windows N] [--scale F] [--seed N] [--policy-out POLICY]
       The paper's Figure 1 as a running system: alternate observation
       windows and retraining on the accumulated log, reporting the
-      realized MTTR per window.
+      realized MTTR per window plus pool/fallback counters.
+      --policy-out writes the final retrained policy as a policy file.
+
+  watch SOURCE [--refresh true] [--follow true] [--limit N]
+               [--interval SECS]
+      Live view of a continuous loop. SOURCE is either http://host:port
+      (or host:port) of a run started with --metrics-listen — streams
+      its /events NDJSON — or a --metrics-out JSONL file (--follow true
+      tails it until the run's final snapshot). Renders the loop's
+      window table plus fallback rate and convergence counts;
+      --refresh true redraws the screen in place on every update.
 
 GLOBAL FLAGS (accepted by every command):
   --threads N           Worker threads for per-type training and test-set
@@ -88,6 +99,15 @@ GLOBAL FLAGS (accepted by every command):
   --metrics-out FILE    Write telemetry as JSON lines: per-stage span
                         timings, training progress events, and a final
                         metrics snapshot (counters/gauges/histograms).
+  --metrics-listen ADDR Serve live observability over HTTP while the
+                        command runs (port 0 picks an ephemeral port):
+                        /metrics (Prometheus text), /snapshot (JSON
+                        metrics), /healthz (loop status), /events
+                        (NDJSON event stream). Purely observational:
+                        outputs are byte-identical with or without it.
+  --serve-linger SECS   Keep the --metrics-listen server up this long
+                        after the command finishes, so scrapers can
+                        collect the final state of short runs.
   --log-format FORMAT   Progress-line format on stderr: text (default)
                         or json (one JSON object per line).
   -v, -vv               Increase verbosity: show per-type diagnostics.
@@ -126,6 +146,7 @@ fn main() -> ExitCode {
         "explain" => commands::explain(&parsed, &session),
         "diff-policy" => commands::diff_policy(&parsed, &session),
         "loop" => commands::continuous_loop(&parsed, &session),
+        "watch" => watch::watch(&parsed, &session),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

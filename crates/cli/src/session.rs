@@ -1,7 +1,10 @@
-//! Cross-command CLI session state: telemetry (from `--metrics-out`) and
-//! the progress logger (`--log-format`, `-v`).
+//! Cross-command CLI session state: telemetry (from `--metrics-out`),
+//! the live exposition server (from `--metrics-listen`), and the
+//! progress logger (`--log-format`, `-v`).
 
-use recovery_telemetry::{Event, JsonlSink, Telemetry};
+use std::time::Duration;
+
+use recovery_telemetry::{Event, EventBus, JsonlSink, MetricsServer, Telemetry};
 
 use crate::args::Args;
 
@@ -18,40 +21,79 @@ pub enum LogFormat {
 /// to every subcommand.
 #[derive(Debug)]
 pub struct Session {
-    /// Telemetry handle; enabled only when `--metrics-out` was given.
+    /// Telemetry handle; enabled when `--metrics-out` or
+    /// `--metrics-listen` was given.
     pub telemetry: Telemetry,
+    /// The live exposition server, when `--metrics-listen` was given.
+    server: Option<MetricsServer>,
+    /// How long [`Session::finish`] keeps the server up after the
+    /// command completes (`--serve-linger SECS`), so scrapers can fetch
+    /// the final state of short-lived runs.
+    linger: Duration,
     format: LogFormat,
     verbosity: u8,
 }
 
 impl Session {
     /// Builds the session from the parsed global flags: `--metrics-out
-    /// <path>` (JSONL events + final snapshot), `--log-format text|json`,
-    /// and `-v`/`-vv` verbosity.
+    /// <path>` (JSONL events + final snapshot), `--metrics-listen <addr>`
+    /// (live `/metrics`, `/snapshot`, `/healthz`, `/events` endpoints),
+    /// `--serve-linger <secs>`, `--log-format text|json`, and `-v`/`-vv`
+    /// verbosity.
     ///
     /// # Errors
     ///
-    /// Returns a message for an unwritable metrics path or an unknown
-    /// log format.
+    /// Returns a message for an unwritable metrics path, an unbindable
+    /// listen address, or an unknown log format.
     pub fn from_args(args: &Args) -> Result<Session, String> {
-        let telemetry = match args.flag("metrics-out") {
+        let sink = match args.flag("metrics-out") {
             Some(path) => {
-                let sink =
-                    JsonlSink::to_file(path).map_err(|e| format!("--metrics-out {path}: {e}"))?;
-                Telemetry::with_sink(sink)
+                Some(JsonlSink::to_file(path).map_err(|e| format!("--metrics-out {path}: {e}"))?)
             }
-            None => Telemetry::disabled(),
+            None => None,
         };
+        let listen = args.flag("metrics-listen");
+        let telemetry = match (sink, listen) {
+            (None, None) => Telemetry::disabled(),
+            (sink, listen) => {
+                // A live listener always gets a bus so `/events` streams.
+                Telemetry::with_parts(sink, listen.map(|_| EventBus::default()))
+            }
+        };
+        let server = match listen {
+            Some(addr) => Some(
+                MetricsServer::bind(addr, telemetry.clone())
+                    .map_err(|e| format!("--metrics-listen {addr}: {e}"))?,
+            ),
+            None => None,
+        };
+        let linger_secs: f64 = args.flag_or("serve-linger", 0.0f64)?;
+        if !(linger_secs >= 0.0 && linger_secs.is_finite()) {
+            return Err(format!("--serve-linger must be >= 0, got {linger_secs}"));
+        }
         let format = match args.flag("log-format").unwrap_or("text") {
             "text" => LogFormat::Text,
             "json" => LogFormat::Json,
             other => return Err(format!("unknown --log-format {other:?} (text, json)")),
         };
-        Ok(Session {
+        let session = Session {
             telemetry,
+            server,
+            linger: Duration::from_secs_f64(linger_secs),
             format,
             verbosity: args.verbosity(),
-        })
+        };
+        if let Some(addr) = session.serve_addr() {
+            session.info(&format!(
+                "serving live metrics on http://{addr}/ (/metrics /snapshot /healthz /events)"
+            ));
+        }
+        Ok(session)
+    }
+
+    /// The bound address of the live exposition server, if one is up.
+    pub fn serve_addr(&self) -> Option<std::net::SocketAddr> {
+        self.server.as_ref().map(MetricsServer::local_addr)
     }
 
     /// Logs a progress line (always shown) on stderr.
@@ -79,10 +121,21 @@ impl Session {
         }
     }
 
-    /// Writes the final metrics snapshot and flushes the sink. Called
+    /// Writes the final metrics snapshot, flushes the sink, and — when a
+    /// live server is up — keeps it reachable for `--serve-linger`, then
+    /// closes the bus so `/events` streams terminate cleanly. Called
     /// once after the subcommand returns.
     pub fn finish(&self) {
         self.telemetry.finish();
+        if let Some(server) = &self.server {
+            if !self.linger.is_zero() {
+                std::thread::sleep(self.linger);
+            }
+            if let Some(bus) = self.telemetry.bus() {
+                bus.close();
+            }
+            server.shutdown();
+        }
     }
 }
 
@@ -112,6 +165,24 @@ mod tests {
     #[test]
     fn unknown_format_is_rejected() {
         assert!(Session::from_args(&parse(&["--log-format", "xml"])).is_err());
+    }
+
+    #[test]
+    fn metrics_listen_enables_telemetry_bus_and_server() {
+        let s = Session::from_args(&parse(&["--metrics-listen", "127.0.0.1:0"])).unwrap();
+        assert!(s.telemetry.is_enabled());
+        assert!(s.telemetry.bus().is_some(), "listener implies a bus");
+        let addr = s.serve_addr().expect("server bound");
+        assert_ne!(addr.port(), 0, "port 0 resolves to an ephemeral port");
+        s.finish();
+        assert!(s.telemetry.bus().unwrap().is_closed());
+    }
+
+    #[test]
+    fn bad_listen_address_is_a_clean_error() {
+        let err = Session::from_args(&parse(&["--metrics-listen", "256.0.0.1:99999"]))
+            .expect_err("unbindable address");
+        assert!(err.contains("--metrics-listen"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,497 @@
+//! `autorecover watch` — a live view of a running continuous loop.
+//!
+//! Consumes the telemetry event stream from either source:
+//!
+//! * **network**: an `/events` NDJSON stream from a process started with
+//!   `--metrics-listen` (pass `http://host:port` or `host:port`);
+//! * **file**: a `--metrics-out` JSONL file, optionally tailed with
+//!   `--follow true` while the producing run is still going.
+//!
+//! Window summary events render as the same table `loop` prints, plus a
+//! running summary line (fallback rate, converged/trained type counts,
+//! loop phase). With `--refresh true` the screen is redrawn in place on
+//! every update (a refreshing TTY dashboard); the default appends rows,
+//! which is what CI logs and piped output want.
+//!
+//! The watcher is a pure consumer: it never writes to the observed
+//! process, and a stalled watcher at worst drops events on the bus
+//! (never blocking training).
+
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::args::Args;
+use crate::session::Session;
+
+/// One parsed value from a flat telemetry event line.
+#[derive(Debug, Clone, PartialEq)]
+enum Field {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    /// `null`, or a nested object/array we skim over (snapshot lines).
+    Other,
+}
+
+impl Field {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Field::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Field::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Minimal parser for one flat JSON object line as produced by the
+/// telemetry `Event` writer. Nested objects/arrays (the final snapshot
+/// line) are balanced-skipped and reported as [`Field::Other`]. Returns
+/// `None` for anything that doesn't look like a JSON object.
+fn parse_event_line(line: &str) -> Option<Vec<(String, Field)>> {
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    let mut fields = Vec::new();
+    skip_ws(bytes, &mut i);
+    if bytes.get(i) != Some(&b'{') {
+        return None;
+    }
+    i += 1;
+    loop {
+        skip_ws(bytes, &mut i);
+        match bytes.get(i)? {
+            b'}' => return Some(fields),
+            b',' => {
+                i += 1;
+                continue;
+            }
+            b'"' => {}
+            _ => return None,
+        }
+        let key = parse_string(bytes, &mut i)?;
+        skip_ws(bytes, &mut i);
+        if bytes.get(i) != Some(&b':') {
+            return None;
+        }
+        i += 1;
+        skip_ws(bytes, &mut i);
+        let value = parse_value(bytes, &mut i)?;
+        fields.push((key, value));
+    }
+}
+
+fn skip_ws(bytes: &[u8], i: &mut usize) {
+    while bytes.get(*i).is_some_and(u8::is_ascii_whitespace) {
+        *i += 1;
+    }
+}
+
+/// Parses a `"..."` string starting at `bytes[*i]`, decoding the escape
+/// set the event writer emits (`\"`, `\\`, `\n`, `\r`, `\t`, `\uXXXX`).
+fn parse_string(bytes: &[u8], i: &mut usize) -> Option<String> {
+    if bytes.get(*i) != Some(&b'"') {
+        return None;
+    }
+    *i += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*i)? {
+            b'"' => {
+                *i += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *i += 1;
+                match bytes.get(*i)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes.get(*i + 1..*i + 5)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        *i += 4;
+                    }
+                    _ => return None,
+                }
+                *i += 1;
+            }
+            _ => {
+                // Multi-byte UTF-8 passes through untouched.
+                let start = *i;
+                *i += 1;
+                while *i < bytes.len() && bytes[*i] & 0xC0 == 0x80 {
+                    *i += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*i]).ok()?);
+            }
+        }
+    }
+}
+
+fn parse_value(bytes: &[u8], i: &mut usize) -> Option<Field> {
+    match bytes.get(*i)? {
+        b'"' => parse_string(bytes, i).map(Field::Str),
+        b't' => {
+            *i += 4;
+            Some(Field::Bool(true))
+        }
+        b'f' => {
+            *i += 5;
+            Some(Field::Bool(false))
+        }
+        b'n' => {
+            *i += 4;
+            Some(Field::Other)
+        }
+        b'{' | b'[' => {
+            skip_balanced(bytes, i)?;
+            Some(Field::Other)
+        }
+        _ => {
+            let start = *i;
+            while bytes.get(*i).is_some_and(|b| {
+                b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+            }) {
+                *i += 1;
+            }
+            std::str::from_utf8(&bytes[start..*i])
+                .ok()?
+                .parse()
+                .ok()
+                .map(Field::Num)
+        }
+    }
+}
+
+/// Skims a balanced `{...}` / `[...]` region (string-aware).
+fn skip_balanced(bytes: &[u8], i: &mut usize) -> Option<()> {
+    let mut depth = 0usize;
+    loop {
+        match bytes.get(*i)? {
+            b'{' | b'[' => {
+                depth += 1;
+                *i += 1;
+            }
+            b'}' | b']' => {
+                depth -= 1;
+                *i += 1;
+                if depth == 0 {
+                    return Some(());
+                }
+            }
+            b'"' => {
+                parse_string(bytes, i)?;
+            }
+            _ => *i += 1,
+        }
+    }
+}
+
+fn get<'a>(fields: &'a [(String, Field)], key: &str) -> Option<&'a Field> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// The accumulated view of one loop run, rebuilt event by event.
+#[derive(Debug, Default)]
+struct WatchState {
+    /// Rendered window rows, in arrival order.
+    rows: Vec<String>,
+    windows: u64,
+    fallbacks: u64,
+    /// Error types that finished training / that converged.
+    types_finished: BTreeSet<String>,
+    types_converged: BTreeSet<String>,
+    phase: String,
+    /// Whether the producing run's final snapshot has been seen.
+    finished: bool,
+}
+
+const HEADER: &str = "window  processes        mttr    policy    entries  status";
+
+impl WatchState {
+    /// Folds one event line in; returns true when the view changed.
+    fn apply(&mut self, line: &str) -> bool {
+        let Some(fields) = parse_event_line(line) else {
+            return false;
+        };
+        let Some(kind) = get(&fields, "type").and_then(Field::as_str) else {
+            return false;
+        };
+        match kind {
+            "window" => {
+                let num = |key: &str| get(&fields, key).and_then(Field::as_f64).unwrap_or(0.0);
+                let status = get(&fields, "status")
+                    .and_then(Field::as_str)
+                    .unwrap_or("?")
+                    .to_owned();
+                let learned = matches!(get(&fields, "learned_policy"), Some(Field::Bool(true)));
+                self.rows.push(format!(
+                    "{:>6}  {:>9}  {:>9.1}s  {:>8}  {:>9}  {}",
+                    num("window") as u64,
+                    num("processes") as u64,
+                    num("mttr_s"),
+                    if learned { "learned" } else { "user" },
+                    num("policy_entries") as u64,
+                    status
+                ));
+                self.windows += 1;
+                self.fallbacks = num("fallbacks") as u64;
+                true
+            }
+            "training_finished" => {
+                if let Some(t) = get(&fields, "error_type").and_then(Field::as_str) {
+                    self.types_finished.insert(t.to_owned());
+                    if matches!(get(&fields, "converged"), Some(Field::Bool(true))) {
+                        self.types_converged.insert(t.to_owned());
+                    }
+                }
+                true
+            }
+            "health" => {
+                if let Some(phase) = get(&fields, "phase").and_then(Field::as_str) {
+                    self.phase = phase.to_owned();
+                }
+                true
+            }
+            "snapshot" => {
+                self.finished = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn summary(&self) -> String {
+        let rate = if self.windows > 0 {
+            100.0 * self.fallbacks as f64 / self.windows as f64
+        } else {
+            0.0
+        };
+        let mut out = format!(
+            "windows: {} | fallbacks: {} ({rate:.0}%) | converged types: {}/{}",
+            self.windows,
+            self.fallbacks,
+            self.types_converged.len(),
+            self.types_finished.len(),
+        );
+        if !self.phase.is_empty() {
+            out.push_str(&format!(" | phase: {}", self.phase));
+        }
+        out
+    }
+
+    /// Redraws the whole table (refresh mode): clear screen, header,
+    /// the last `limit` rows (0 = all), summary.
+    fn redraw(&self, limit: usize) {
+        let mut out = String::from("\x1b[2J\x1b[H");
+        out.push_str(HEADER);
+        out.push('\n');
+        let skip = if limit > 0 && self.rows.len() > limit {
+            self.rows.len() - limit
+        } else {
+            0
+        };
+        for row in &self.rows[skip..] {
+            out.push_str(row);
+            out.push('\n');
+        }
+        out.push('\n');
+        out.push_str(&self.summary());
+        out.push('\n');
+        print!("{out}");
+        let _ = std::io::stdout().flush();
+    }
+}
+
+/// `autorecover watch SOURCE` entry point.
+pub fn watch(args: &Args, session: &Session) -> Result<(), String> {
+    let source = args
+        .positional(0)
+        .ok_or("watch needs a source: http://host:port, host:port, or a --metrics-out file")?;
+    let refresh: bool = args.flag_or("refresh", false)?;
+    let follow: bool = args.flag_or("follow", false)?;
+    let limit: usize = args.flag_or("limit", 0usize)?;
+    let interval_secs: f64 = args.flag_or("interval", 0.5f64)?;
+    if !(interval_secs > 0.0 && interval_secs.is_finite()) {
+        return Err(format!("--interval must be > 0, got {interval_secs}"));
+    }
+    let interval = Duration::from_secs_f64(interval_secs);
+
+    let mut state = WatchState::default();
+    if !refresh {
+        println!("{HEADER}");
+    }
+    let mut on_line = |state: &mut WatchState, line: &str| {
+        let before = state.rows.len();
+        if state.apply(line) {
+            if refresh {
+                state.redraw(limit);
+            } else if state.rows.len() > before {
+                println!("{}", state.rows[state.rows.len() - 1]);
+            }
+        }
+    };
+
+    let looks_like_network = source.starts_with("http://")
+        || source
+            .rsplit_once(':')
+            .is_some_and(|(host, port)| !host.is_empty() && port.parse::<u16>().is_ok());
+    if looks_like_network {
+        watch_network(source, session, &mut state, &mut on_line)?;
+    } else {
+        watch_file(source, follow, interval, session, &mut state, &mut on_line)?;
+    }
+    if !refresh {
+        println!("\n{}", state.summary());
+    }
+    Ok(())
+}
+
+/// Streams `/events` from a live `--metrics-listen` server until the
+/// producing run finishes (bus closed) or the connection drops.
+fn watch_network(
+    source: &str,
+    session: &Session,
+    state: &mut WatchState,
+    on_line: &mut dyn FnMut(&mut WatchState, &str),
+) -> Result<(), String> {
+    let addr = source.trim_start_matches("http://").trim_end_matches('/');
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    stream
+        .write_all(format!("GET /events HTTP/1.1\r\nHost: {addr}\r\n\r\n").as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("requesting /events from {addr}: {e}"))?;
+    session.info(&format!("watching http://{addr}/events ..."));
+    let reader = BufReader::new(stream);
+    let mut in_body = false;
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if !in_body {
+            // The NDJSON body starts at the first JSON object line.
+            if line.starts_with("HTTP/1.1 503") {
+                return Err(
+                    "the observed process has no event bus (was it started with --metrics-listen?)"
+                        .into(),
+                );
+            }
+            if line.starts_with('{') {
+                in_body = true;
+            } else {
+                continue;
+            }
+        }
+        on_line(state, &line);
+    }
+    Ok(())
+}
+
+/// Renders a `--metrics-out` JSONL file, optionally tailing it until the
+/// final snapshot line appears.
+fn watch_file(
+    source: &str,
+    follow: bool,
+    interval: Duration,
+    session: &Session,
+    state: &mut WatchState,
+    on_line: &mut dyn FnMut(&mut WatchState, &str),
+) -> Result<(), String> {
+    session.info(&format!(
+        "watching {source}{} ...",
+        if follow { " (following)" } else { "" }
+    ));
+    let mut offset = 0usize;
+    loop {
+        let text = std::fs::read_to_string(source).map_err(|e| format!("reading {source}: {e}"))?;
+        // Only complete lines past the last offset; a writer may be
+        // mid-line at the tail.
+        let complete = text.rfind('\n').map_or(0, |p| p + 1);
+        if complete > offset {
+            for line in text[offset..complete].lines() {
+                on_line(state, line);
+            }
+            offset = complete;
+        }
+        if !follow || state.finished {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_event_lines() {
+        let fields = parse_event_line(
+            "{\"type\":\"window\",\"window\":2,\"mttr_s\":93.5,\"learned_policy\":true,\"status\":\"trained\"}",
+        )
+        .expect("valid line");
+        assert_eq!(get(&fields, "type"), Some(&Field::Str("window".into())));
+        assert_eq!(get(&fields, "window"), Some(&Field::Num(2.0)));
+        assert_eq!(get(&fields, "mttr_s"), Some(&Field::Num(93.5)));
+        assert_eq!(get(&fields, "learned_policy"), Some(&Field::Bool(true)));
+        assert!(parse_event_line("not json").is_none());
+        assert!(parse_event_line("").is_none());
+    }
+
+    #[test]
+    fn parses_escapes_and_skips_nested_objects() {
+        let fields = parse_event_line(
+            "{\"type\":\"snapshot\",\"counters\":{\"a\":1,\"b\":{\"c\":[1,2]}},\"note\":\"q\\\"/\\u0041\\n\"}",
+        )
+        .expect("valid line");
+        assert_eq!(get(&fields, "counters"), Some(&Field::Other));
+        assert_eq!(get(&fields, "note"), Some(&Field::Str("q\"/A\n".into())));
+    }
+
+    #[test]
+    fn window_events_become_rows_and_summary() {
+        let mut state = WatchState::default();
+        assert!(state.apply(
+            "{\"type\":\"window\",\"window\":0,\"processes\":120,\"mttr_s\":150.25,\"learned_policy\":false,\"policy_entries\":0,\"status\":\"trained\",\"fallbacks\":0}",
+        ));
+        assert!(state.apply(
+            "{\"type\":\"window\",\"window\":1,\"processes\":118,\"mttr_s\":90.5,\"learned_policy\":true,\"policy_entries\":40,\"status\":\"empty_window\",\"fallbacks\":1}",
+        ));
+        assert!(state.apply(
+            "{\"type\":\"training_finished\",\"error_type\":\"t1\",\"sweeps\":500,\"converged\":true}",
+        ));
+        assert!(state.apply(
+            "{\"type\":\"training_finished\",\"error_type\":\"t2\",\"sweeps\":900,\"converged\":false}",
+        ));
+        assert!(state.apply("{\"type\":\"health\",\"ok\":true,\"phase\":\"running\"}"));
+        assert!(!state.apply("{\"type\":\"span\",\"name\":\"retrain\",\"ms\":1.0}"));
+        assert_eq!(state.rows.len(), 2);
+        assert!(state.rows[0].contains("user"), "{}", state.rows[0]);
+        assert!(state.rows[1].contains("learned"), "{}", state.rows[1]);
+        assert!(state.rows[1].contains("empty_window"), "{}", state.rows[1]);
+        let summary = state.summary();
+        assert!(
+            summary.contains("windows: 2 | fallbacks: 1 (50%)"),
+            "{summary}"
+        );
+        assert!(summary.contains("converged types: 1/2"), "{summary}");
+        assert!(summary.contains("phase: running"), "{summary}");
+        assert!(!state.finished);
+        assert!(state.apply("{\"type\":\"snapshot\",\"counters\":{}}"));
+        assert!(state.finished);
+    }
+}

@@ -637,3 +637,155 @@ fn loop_table_reports_window_status() {
     assert!(text.contains("status"), "{text}");
     assert!(text.contains("trained"), "{text}");
 }
+
+#[test]
+fn loop_summary_includes_pool_and_fallback_counters() {
+    let out = bin()
+        .args(["loop", "--windows", "2", "--scale", "0.005"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("pool: "), "{text}");
+    assert!(text.contains("panics"), "{text}");
+    assert!(text.contains("retries"), "{text}");
+    assert!(text.contains("exhausted"), "{text}");
+    assert!(text.contains("fallbacks"), "{text}");
+}
+
+/// The CLI-level purity check of the live observability plane: a loop
+/// run with the exposition server up (`--metrics-listen`) must write a
+/// byte-identical final policy to the same run without it.
+#[test]
+fn loop_with_metrics_listen_writes_byte_identical_policy() {
+    let plain = tmp("listen-off.policy");
+    let listened = tmp("listen-on.policy");
+
+    let out = bin()
+        .args([
+            "loop",
+            "--windows",
+            "2",
+            "--scale",
+            "0.005",
+            "--policy-out",
+            plain.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = bin()
+        .args([
+            "loop",
+            "--windows",
+            "2",
+            "--scale",
+            "0.005",
+            "--policy-out",
+            listened.to_str().unwrap(),
+            "--metrics-listen",
+            "127.0.0.1:0",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("serving live metrics on http://127.0.0.1:"),
+        "{stderr}"
+    );
+
+    let plain_text = std::fs::read_to_string(&plain).unwrap();
+    let listened_text = std::fs::read_to_string(&listened).unwrap();
+    assert!(
+        plain_text.starts_with("# autorecover policy v1"),
+        "{plain_text}"
+    );
+    assert!(
+        plain_text == listened_text,
+        "--metrics-listen changed the loop's final policy bytes"
+    );
+
+    std::fs::remove_file(&plain).ok();
+    std::fs::remove_file(&listened).ok();
+}
+
+#[test]
+fn watch_renders_window_rows_from_a_metrics_file() {
+    let metrics = tmp("watch.jsonl");
+    let out = bin()
+        .args([
+            "loop",
+            "--windows",
+            "2",
+            "--scale",
+            "0.005",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = bin()
+        .args(["watch", metrics.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    // The column header, one row per window, and the rolled-up footer.
+    assert!(text.contains("window  processes"), "{text}");
+    assert!(text.contains("status"), "{text}");
+    assert!(text.contains("windows: 2 | fallbacks:"), "{text}");
+    assert!(text.contains("converged types:"), "{text}");
+
+    std::fs::remove_file(&metrics).ok();
+}
+
+#[test]
+fn watch_rejects_missing_sources_cleanly() {
+    let out = bin()
+        .args(["watch", "/nonexistent/metrics.jsonl"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+
+    let out = bin().args(["watch"]).output().unwrap();
+    assert!(!out.status.success(), "watch without a source must fail");
+}
+
+#[test]
+fn help_documents_the_observability_plane() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("--metrics-listen ADDR"), "{text}");
+    assert!(text.contains("--serve-linger SECS"), "{text}");
+    assert!(text.contains("/metrics"), "{text}");
+    assert!(text.contains("/healthz"), "{text}");
+    assert!(text.contains("watch SOURCE"), "{text}");
+}

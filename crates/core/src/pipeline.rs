@@ -30,13 +30,17 @@
 //! `loop.fallback.<reason>` counters. Fault tests script failures into
 //! the loop with [`ContinuousLoopConfig::faults`].
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
+use std::time::Instant;
 
 use recovery_simlog::{
     stats, ClusterConfig, ClusterSim, FaultCatalog, RecoveryLog, RecoveryProcess, SimDuration,
     UserDefinedPolicy,
 };
-use recovery_telemetry::{Event, Telemetry};
+use recovery_telemetry::{Event, ObserverHandle, Telemetry, TrainingObserver, DURATION_MS_BOUNDS};
 
 use crate::error_type::NoiseFilter;
 use crate::fault::LoopFaultPlan;
@@ -186,6 +190,18 @@ pub struct WindowOutcome {
     pub status: WindowStatus,
 }
 
+/// The full result of a continuous loop run: the per-window rows plus
+/// the last successfully trained policy (the one that would stay
+/// deployed if the loop kept running).
+#[derive(Debug, Clone)]
+pub struct LoopRun {
+    /// One row per observation window, in order.
+    pub outcomes: Vec<WindowOutcome>,
+    /// The most recent successfully retrained policy, if any window
+    /// completed a retraining step.
+    pub policy: Option<TrainedPolicy>,
+}
+
 /// Runs the closed loop against `catalog` and returns one row per window.
 ///
 /// ```no_run
@@ -208,7 +224,7 @@ pub fn run_continuous_loop(
     catalog: &FaultCatalog,
     config: &ContinuousLoopConfig,
 ) -> Vec<WindowOutcome> {
-    run_continuous_loop_observed(catalog, config, &Telemetry::disabled())
+    run_continuous_loop_full(catalog, config, &Telemetry::disabled()).outcomes
 }
 
 /// [`run_continuous_loop`] with telemetry: each window's simulation and
@@ -225,13 +241,42 @@ pub fn run_continuous_loop_observed(
     config: &ContinuousLoopConfig,
     telemetry: &Telemetry,
 ) -> Vec<WindowOutcome> {
+    run_continuous_loop_full(catalog, config, telemetry).outcomes
+}
+
+/// [`run_continuous_loop_observed`] returning the final trained policy
+/// alongside the window rows, and driving the live observability plane:
+/// the telemetry handle's [`HealthState`](recovery_telemetry::HealthState)
+/// tracks the loop phase and last window, every window lands in the
+/// `loop.window.ms` wall-time histogram, and the per-window `window`
+/// event carries the enriched summary (status, fallback reason, Q-delta
+/// tail of the retraining step, cumulative pool panic/retry and loop
+/// fallback counters).
+///
+/// All enriched `window` fields are wall-clock-free and thread-count
+/// invariant, preserving the byte-identity of event streams across
+/// `--threads` values (wall time goes only to the histogram).
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn run_continuous_loop_full(
+    catalog: &FaultCatalog,
+    config: &ContinuousLoopConfig,
+    telemetry: &Telemetry,
+) -> LoopRun {
     config.validate();
+    let health = telemetry.health();
+    if let Some(health) = &health {
+        health.begin_loop(config.windows as u64);
+    }
     let pool = crate::parallel::WorkerPool::new(config.threads);
     let mut outcomes = Vec::with_capacity(config.windows);
     let mut accumulated: Vec<RecoveryProcess> = Vec::new();
     let mut current: Option<TrainedPolicy> = None;
 
     for window in 0..config.windows {
+        let window_started = Instant::now();
         let window_seed = config
             .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -239,6 +284,7 @@ pub fn run_continuous_loop_observed(
         let learned_policy = current.is_some();
         let policy_entries = current.as_ref().map_or(0, |p| p.q().len());
         let mut status = WindowStatus::Trained;
+        let mut q_delta_tail = 0.0_f64;
 
         // Simulation: panics (injected or real) are contained so a bad
         // window degrades instead of killing the loop.
@@ -299,7 +345,10 @@ pub fn run_continuous_loop_observed(
         if window + 1 < config.windows && status.is_trained() {
             let _span = telemetry.span("retrain");
             match retrain(config, &accumulated, window, telemetry) {
-                Ok(policy) => current = Some(policy),
+                Ok((policy, tail)) => {
+                    current = Some(policy);
+                    q_delta_tail = tail;
+                }
                 Err(reason) => status = WindowStatus::FellBack { reason },
             }
         }
@@ -320,7 +369,26 @@ pub fn run_continuous_loop_observed(
                     .inc();
             }
         }
+        if let Some(health) = &health {
+            health.record_window(
+                window as u64,
+                status.label(),
+                status.fallback_reason().map(FallbackReason::label),
+            );
+        }
+        if let Some(registry) = telemetry.registry() {
+            // Wall time lives only in the histogram: `window` events must
+            // stay byte-identical across runs and thread counts.
+            registry
+                .histogram("loop.window.ms", &DURATION_MS_BOUNDS)
+                .record(window_started.elapsed().as_secs_f64() * 1e3);
+        }
         if telemetry.is_enabled() {
+            let counter = |name: &str| {
+                telemetry
+                    .registry()
+                    .map_or(0, |registry| registry.counter(name).get())
+            };
             telemetry.emit(
                 &Event::new("window")
                     .with("window", outcome.window)
@@ -328,24 +396,49 @@ pub fn run_continuous_loop_observed(
                     .with("mttr_s", outcome.mttr.as_secs_f64())
                     .with("learned_policy", outcome.learned_policy)
                     .with("policy_entries", outcome.policy_entries)
-                    .with("status", outcome.status.label()),
+                    .with("status", outcome.status.label())
+                    .with(
+                        "fallback_reason",
+                        outcome
+                            .status
+                            .fallback_reason()
+                            .map_or("", FallbackReason::label),
+                    )
+                    .with("q_delta_tail", q_delta_tail)
+                    .with("pool_panics", counter("pool.panics"))
+                    .with("pool_retries", counter("pool.retries"))
+                    .with("pool_exhausted", counter("pool.exhausted"))
+                    .with("fallbacks", counter("loop.fallbacks")),
             );
         }
         outcomes.push(outcome);
     }
-    outcomes
+    if let Some(health) = &health {
+        health.set_phase("completed");
+    }
+    LoopRun {
+        outcomes,
+        policy: current,
+    }
 }
 
-/// One retraining step over everything accumulated so far. Failures —
-/// injected panics, filter blackouts, or genuinely nothing trainable —
-/// come back as a typed [`FallbackReason`] so the caller keeps the last
-/// good policy.
+/// One retraining step over everything accumulated so far, returning the
+/// trained policy plus its Q-delta tail. Failures — injected panics,
+/// filter blackouts, or genuinely nothing trainable — come back as a
+/// typed [`FallbackReason`] so the caller keeps the last good policy.
 fn retrain(
     config: &ContinuousLoopConfig,
     accumulated: &[RecoveryProcess],
     window: usize,
     telemetry: &Telemetry,
-) -> Result<TrainedPolicy, FallbackReason> {
+) -> Result<(TrainedPolicy, f64), FallbackReason> {
+    // The tail observer rides along only when telemetry is on: the value
+    // feeds the `window` event, which is only emitted then.
+    let tail = if telemetry.is_enabled() {
+        Some(Arc::new(QDeltaTail::default()))
+    } else {
+        None
+    };
     let trained = catch_unwind(AssertUnwindSafe(|| {
         if config.faults.trips_retrain(window) {
             panic!("faultline: injected retrain panic after window {window}");
@@ -361,16 +454,69 @@ fn retrain(
         if types.is_empty() {
             return Err(FallbackReason::NoTrainableTypes);
         }
+        let observer = match &tail {
+            Some(tail) => telemetry
+                .observer_handle()
+                .fanout(&ObserverHandle::attached(
+                    tail.clone() as Arc<dyn TrainingObserver>
+                )),
+            None => telemetry.observer_handle(),
+        };
         let trainer = OfflineTrainer::new(&clean, config.trainer.clone())
             .with_threads(config.threads)
-            .with_observer(telemetry.observer_handle());
+            .with_observer(observer);
         let tree = SelectionTreeTrainer::new(&trainer, config.tree.clone());
         let (policy, _) = tree.train(&types);
         Ok(policy)
     }));
     match trained {
-        Ok(result) => result,
+        Ok(Ok(policy)) => {
+            let tail_value = tail.as_ref().map_or(0.0, |t| t.tail());
+            Ok((policy, tail_value))
+        }
+        Ok(Err(reason)) => Err(reason),
         Err(_) => Err(FallbackReason::TrainingPanicked),
+    }
+}
+
+/// Captures the retraining step's **Q-delta tail**: the largest final
+/// max-Q-delta any trained error type ended on — how unsettled the
+/// slowest-to-converge Q-table still was when its training stopped.
+///
+/// Per-type training runs on worker threads, so the "last `q_delta`
+/// before `training_finished`" pairing is tracked per thread; the fold
+/// is a max over types, which is order-independent and therefore
+/// deterministic for any thread count.
+#[derive(Debug, Default)]
+struct QDeltaTail {
+    last_by_thread: Mutex<HashMap<ThreadId, f64>>,
+    tail: Mutex<f64>,
+}
+
+impl QDeltaTail {
+    fn tail(&self) -> f64 {
+        self.tail.lock().map(|t| *t).unwrap_or(0.0)
+    }
+}
+
+impl TrainingObserver for QDeltaTail {
+    fn q_delta(&self, _sweep: u64, max_delta: f64) {
+        if let Ok(mut last) = self.last_by_thread.lock() {
+            last.insert(std::thread::current().id(), max_delta);
+        }
+    }
+
+    fn training_finished(&self, _error_type: &str, _sweeps: u64, _converged: bool) {
+        let last = self
+            .last_by_thread
+            .lock()
+            .ok()
+            .and_then(|m| m.get(&std::thread::current().id()).copied());
+        if let (Some(last), Ok(mut tail)) = (last, self.tail.lock()) {
+            if last > *tail {
+                *tail = last;
+            }
+        }
     }
 }
 

@@ -1,0 +1,398 @@
+//! The live telemetry [`EventBus`]: bounded multi-subscriber fan-out of
+//! serialized event lines.
+//!
+//! [`Telemetry::emit`](crate::Telemetry::emit) publishes every event it
+//! writes to the JSONL sink onto the attached bus as well, so live
+//! consumers — the `/events` exposition endpoint, the `watch`
+//! subcommand, tests — see the same stream the sink persists. The bus is
+//! built around one hard rule inherited from the telemetry purity
+//! contract: **a subscriber can never block or perturb the observed
+//! pipeline.** Every subscriber owns a bounded queue; when a slow
+//! consumer's queue is full, new events are *dropped for that
+//! subscriber* (its drop counter increments) instead of the publisher
+//! waiting. Publishing takes one short mutex hold per subscriber and
+//! performs no I/O, so the cost to the pipeline is bounded and
+//! independent of how sick a consumer is.
+//!
+//! Event payloads are shared as `Arc<str>`: fanning one event to N
+//! subscribers clones reference counts, never the bytes.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Default bounded capacity of one subscriber's queue.
+pub const DEFAULT_SUBSCRIBER_CAPACITY: usize = 1024;
+
+/// Counts returned by one [`EventBus::publish`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PublishOutcome {
+    /// Subscribers whose queue accepted the event.
+    pub delivered: usize,
+    /// Subscribers whose full queue forced the event to be dropped.
+    pub dropped: usize,
+}
+
+/// A bounded multi-subscriber fan-out of serialized telemetry lines.
+///
+/// Cloning is cheap (an `Arc` clone); all clones publish into the same
+/// set of subscribers.
+#[derive(Debug, Clone)]
+pub struct EventBus {
+    inner: Arc<BusInner>,
+}
+
+#[derive(Debug)]
+struct BusInner {
+    subscribers: Mutex<Vec<Arc<SubQueue>>>,
+    published: AtomicU64,
+    dropped: AtomicU64,
+    closed: AtomicBool,
+    default_capacity: usize,
+}
+
+#[derive(Debug)]
+struct SubQueue {
+    capacity: usize,
+    state: Mutex<SubState>,
+    ready: Condvar,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    /// Set when the owning [`Subscription`] was dropped; the bus prunes
+    /// detached queues on the next publish.
+    detached: AtomicBool,
+}
+
+#[derive(Debug)]
+struct SubState {
+    queue: VecDeque<Arc<str>>,
+    closed: bool,
+}
+
+impl Default for EventBus {
+    fn default() -> Self {
+        EventBus::new(DEFAULT_SUBSCRIBER_CAPACITY)
+    }
+}
+
+impl EventBus {
+    /// A new open bus whose subscribers default to queues of
+    /// `default_capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `default_capacity` is zero.
+    pub fn new(default_capacity: usize) -> Self {
+        assert!(default_capacity > 0, "subscriber capacity must be positive");
+        EventBus {
+            inner: Arc::new(BusInner {
+                subscribers: Mutex::new(Vec::new()),
+                published: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                closed: AtomicBool::new(false),
+                default_capacity,
+            }),
+        }
+    }
+
+    /// Registers a subscriber with the bus's default queue capacity.
+    pub fn subscribe(&self) -> Subscription {
+        self.subscribe_with_capacity(self.inner.default_capacity)
+    }
+
+    /// Registers a subscriber with its own bounded queue capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn subscribe_with_capacity(&self, capacity: usize) -> Subscription {
+        assert!(capacity > 0, "subscriber capacity must be positive");
+        let queue = Arc::new(SubQueue {
+            capacity,
+            state: Mutex::new(SubState {
+                queue: VecDeque::new(),
+                closed: self.is_closed(),
+            }),
+            ready: Condvar::new(),
+            delivered: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            detached: AtomicBool::new(false),
+        });
+        if let Ok(mut subs) = self.inner.subscribers.lock() {
+            subs.push(queue.clone());
+        }
+        Subscription { queue }
+    }
+
+    /// Fans one serialized event line out to every live subscriber.
+    /// Never blocks on a consumer: a full queue drops the event for that
+    /// subscriber and increments its drop counter.
+    pub fn publish(&self, line: &str) -> PublishOutcome {
+        self.inner.published.fetch_add(1, Ordering::Relaxed);
+        let mut outcome = PublishOutcome::default();
+        let Ok(mut subs) = self.inner.subscribers.lock() else {
+            return outcome;
+        };
+        if subs.is_empty() {
+            return outcome;
+        }
+        let payload: Arc<str> = Arc::from(line);
+        subs.retain(|sub| {
+            if sub.detached.load(Ordering::Relaxed) {
+                return false;
+            }
+            let Ok(mut state) = sub.state.lock() else {
+                return false;
+            };
+            if state.queue.len() >= sub.capacity {
+                sub.dropped.fetch_add(1, Ordering::Relaxed);
+                self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+                outcome.dropped += 1;
+            } else {
+                state.queue.push_back(payload.clone());
+                sub.ready.notify_one();
+                outcome.delivered += 1;
+            }
+            true
+        });
+        outcome
+    }
+
+    /// Closes the bus: subscribers drain what is queued, then their
+    /// `recv` calls return `None`. Publishing after close is a no-op
+    /// apart from the `published` counter.
+    pub fn close(&self) {
+        self.inner.closed.store(true, Ordering::SeqCst);
+        if let Ok(subs) = self.inner.subscribers.lock() {
+            for sub in subs.iter() {
+                if let Ok(mut state) = sub.state.lock() {
+                    state.closed = true;
+                }
+                sub.ready.notify_all();
+            }
+        }
+    }
+
+    /// Whether [`EventBus::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.closed.load(Ordering::SeqCst)
+    }
+
+    /// Number of currently attached subscribers (dropped subscriptions
+    /// are pruned lazily on publish).
+    pub fn subscriber_count(&self) -> usize {
+        self.inner
+            .subscribers
+            .lock()
+            .map(|subs| {
+                subs.iter()
+                    .filter(|s| !s.detached.load(Ordering::Relaxed))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether any subscriber is attached (cheap pre-check before
+    /// serializing an event).
+    pub fn has_subscribers(&self) -> bool {
+        self.subscriber_count() > 0
+    }
+
+    /// Total events offered to the bus so far.
+    pub fn published(&self) -> u64 {
+        self.inner.published.load(Ordering::Relaxed)
+    }
+
+    /// Total (subscriber × event) drops caused by full queues.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// One subscriber's receiving half, created by [`EventBus::subscribe`].
+///
+/// Dropping the subscription detaches it; the bus stops delivering to it
+/// on the next publish.
+#[derive(Debug)]
+pub struct Subscription {
+    queue: Arc<SubQueue>,
+}
+
+impl Subscription {
+    /// Pops the next queued event line without blocking.
+    pub fn try_recv(&self) -> Option<String> {
+        let mut state = self.queue.state.lock().ok()?;
+        let line = state.queue.pop_front()?;
+        self.queue.delivered.fetch_add(1, Ordering::Relaxed);
+        Some(line.to_string())
+    }
+
+    /// Blocks up to `timeout` for the next event line. Returns `None` on
+    /// timeout, or immediately once the bus is closed and the queue is
+    /// drained.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<String> {
+        let mut state = self.queue.state.lock().ok()?;
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(line) = state.queue.pop_front() {
+                self.queue.delivered.fetch_add(1, Ordering::Relaxed);
+                return Some(line.to_string());
+            }
+            if state.closed {
+                return None;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, timed_out) = self.queue.ready.wait_timeout(state, deadline - now).ok()?;
+            state = next;
+            if timed_out.timed_out() && state.queue.is_empty() {
+                return None;
+            }
+        }
+    }
+
+    /// Pops everything currently queued.
+    pub fn drain(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        while let Some(line) = self.try_recv() {
+            out.push(line);
+        }
+        out
+    }
+
+    /// Whether the bus has been closed (queued lines may still be
+    /// pending).
+    pub fn is_closed(&self) -> bool {
+        self.queue.state.lock().map(|s| s.closed).unwrap_or(true)
+    }
+
+    /// Events this subscriber has consumed.
+    pub fn delivered(&self) -> u64 {
+        self.queue.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped for this subscriber because its queue was full.
+    pub fn dropped(&self) -> u64 {
+        self.queue.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Events currently queued and not yet consumed — how far behind the
+    /// live stream this subscriber lags.
+    pub fn lag(&self) -> usize {
+        self.queue.state.lock().map(|s| s.queue.len()).unwrap_or(0)
+    }
+
+    /// This subscriber's bounded queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.queue.capacity
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        self.queue.detached.store(true, Ordering::Relaxed);
+        // Free queued payloads eagerly; the bus prunes the queue handle
+        // on its next publish.
+        if let Ok(mut state) = self.queue.state.lock() {
+            state.queue.clear();
+            state.closed = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn events_fan_out_to_every_subscriber_in_order() {
+        let bus = EventBus::default();
+        let a = bus.subscribe();
+        let b = bus.subscribe();
+        for i in 0..5 {
+            bus.publish(&format!("line-{i}"));
+        }
+        for sub in [&a, &b] {
+            let got = sub.drain();
+            assert_eq!(got, ["line-0", "line-1", "line-2", "line-3", "line-4"]);
+            assert_eq!(sub.delivered(), 5);
+            assert_eq!(sub.dropped(), 0);
+        }
+        assert_eq!(bus.published(), 5);
+        assert_eq!(bus.dropped(), 0);
+    }
+
+    #[test]
+    fn full_queues_drop_instead_of_blocking() {
+        let bus = EventBus::default();
+        let stalled = bus.subscribe_with_capacity(2);
+        let healthy = bus.subscribe();
+        for i in 0..10 {
+            bus.publish(&format!("e{i}"));
+        }
+        // The stalled subscriber kept the oldest two and dropped the rest.
+        assert_eq!(stalled.lag(), 2);
+        assert_eq!(stalled.dropped(), 8);
+        assert_eq!(stalled.drain(), ["e0", "e1"]);
+        // The healthy one saw everything; the bus aggregates the drops.
+        assert_eq!(healthy.drain().len(), 10);
+        assert_eq!(healthy.dropped(), 0);
+        assert_eq!(bus.dropped(), 8);
+    }
+
+    #[test]
+    fn dropped_subscriptions_are_pruned_on_publish() {
+        let bus = EventBus::default();
+        let sub = bus.subscribe();
+        assert_eq!(bus.subscriber_count(), 1);
+        drop(sub);
+        assert_eq!(bus.subscriber_count(), 0);
+        bus.publish("after-drop");
+        assert_eq!(bus.subscriber_count(), 0);
+        assert!(!bus.has_subscribers());
+    }
+
+    #[test]
+    fn close_wakes_blocked_receivers_after_draining() {
+        let bus = EventBus::default();
+        let sub = bus.subscribe();
+        bus.publish("queued");
+        bus.close();
+        // The queued line is still delivered...
+        assert_eq!(
+            sub.recv_timeout(Duration::from_millis(100)).as_deref(),
+            Some("queued")
+        );
+        // ...then recv reports end-of-stream without waiting out the
+        // timeout.
+        let start = std::time::Instant::now();
+        assert_eq!(sub.recv_timeout(Duration::from_secs(30)), None);
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert!(sub.is_closed());
+        // Subscribing after close yields an immediately-closed stream.
+        let late = bus.subscribe();
+        assert_eq!(late.recv_timeout(Duration::from_millis(10)), None);
+    }
+
+    #[test]
+    fn recv_timeout_blocks_until_a_concurrent_publish() {
+        let bus = EventBus::default();
+        let sub = bus.subscribe();
+        let publisher = {
+            let bus = bus.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                bus.publish("late");
+            })
+        };
+        assert_eq!(
+            sub.recv_timeout(Duration::from_secs(10)).as_deref(),
+            Some("late")
+        );
+        publisher.join().unwrap();
+    }
+}

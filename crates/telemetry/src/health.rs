@@ -1,0 +1,181 @@
+//! Live loop health: the last word on what the continuous loop is doing,
+//! served by the `/healthz` exposition endpoint.
+//!
+//! Unlike the metrics registry (cumulative, append-only), health is a
+//! small last-value-wins record: which phase the process is in, the most
+//! recent observation window, its [`WindowStatus`]-style label, and the
+//! fallback reason if the window degraded. The continuous loop updates
+//! it through [`crate::Telemetry::health`]; updates are cheap (one short
+//! mutex hold) and purely observational.
+
+use std::sync::{Arc, Mutex};
+
+use crate::event::{Event, Value};
+
+/// A cheap cloneable handle onto the process's live health record.
+#[derive(Debug, Clone, Default)]
+pub struct HealthState {
+    inner: Arc<Mutex<HealthSnapshot>>,
+}
+
+/// A point-in-time copy of the health record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Coarse process phase: `idle`, `running`, `completed`, or whatever
+    /// the driving command sets.
+    pub phase: String,
+    /// Total windows the current loop will run (0 outside a loop).
+    pub windows_total: u64,
+    /// 0-based index of the most recently completed window.
+    pub last_window: Option<u64>,
+    /// The last window's status label (`trained` or a fallback reason).
+    pub last_status: Option<String>,
+    /// The last window's fallback reason label, when it fell back.
+    pub last_fallback_reason: Option<String>,
+    /// Cumulative fallback count across the loop so far.
+    pub fallbacks: u64,
+}
+
+impl Default for HealthSnapshot {
+    fn default() -> Self {
+        HealthSnapshot {
+            phase: "idle".to_string(),
+            windows_total: 0,
+            last_window: None,
+            last_status: None,
+            last_fallback_reason: None,
+            fallbacks: 0,
+        }
+    }
+}
+
+impl HealthSnapshot {
+    /// Whether the process looks healthy: any phase except one where the
+    /// most recent window fell back.
+    pub fn is_ok(&self) -> bool {
+        self.last_fallback_reason.is_none()
+    }
+
+    /// Serializes the snapshot as one JSON object (the `/healthz` body).
+    pub fn to_json(&self) -> String {
+        let mut event = Event::new("health")
+            .with("ok", self.is_ok())
+            .with("phase", self.phase.as_str())
+            .with("windows_total", self.windows_total);
+        if let Some(w) = self.last_window {
+            event = event.with("last_window", w);
+        }
+        if let Some(status) = &self.last_status {
+            event = event.with("last_status", status.as_str());
+        }
+        event = event.with(
+            "last_fallback_reason",
+            match &self.last_fallback_reason {
+                Some(reason) => Value::Str(reason.clone()),
+                None => Value::Str(String::new()),
+            },
+        );
+        event.with("fallbacks", self.fallbacks).to_json()
+    }
+}
+
+impl HealthState {
+    /// A fresh `idle` health record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the coarse process phase.
+    pub fn set_phase(&self, phase: &str) {
+        if let Ok(mut inner) = self.inner.lock() {
+            inner.phase.clear();
+            inner.phase.push_str(phase);
+        }
+    }
+
+    /// Marks the start of a continuous loop over `windows_total` windows
+    /// and resets the per-loop fields.
+    pub fn begin_loop(&self, windows_total: u64) {
+        if let Ok(mut inner) = self.inner.lock() {
+            *inner = HealthSnapshot {
+                phase: "running".to_string(),
+                windows_total,
+                ..HealthSnapshot::default()
+            };
+        }
+    }
+
+    /// Records one completed observation window.
+    pub fn record_window(&self, window: u64, status: &str, fallback_reason: Option<&str>) {
+        if let Ok(mut inner) = self.inner.lock() {
+            inner.last_window = Some(window);
+            inner.last_status = Some(status.to_string());
+            inner.last_fallback_reason = fallback_reason.map(str::to_string);
+            if fallback_reason.is_some() {
+                inner.fallbacks += 1;
+            }
+        }
+    }
+
+    /// A point-in-time copy of the record.
+    pub fn snapshot(&self) -> HealthSnapshot {
+        self.inner
+            .lock()
+            .map(|inner| inner.clone())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_idle_and_ok() {
+        let health = HealthState::new();
+        let snap = health.snapshot();
+        assert_eq!(snap.phase, "idle");
+        assert!(snap.is_ok());
+        assert_eq!(snap.last_window, None);
+        let json = snap.to_json();
+        assert!(
+            json.starts_with("{\"type\":\"health\",\"ok\":true"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn windows_accumulate_and_fallbacks_count() {
+        let health = HealthState::new();
+        health.begin_loop(4);
+        health.record_window(0, "trained", None);
+        health.record_window(1, "empty_window", Some("empty_window"));
+        let snap = health.snapshot();
+        assert_eq!(snap.phase, "running");
+        assert_eq!(snap.windows_total, 4);
+        assert_eq!(snap.last_window, Some(1));
+        assert_eq!(snap.last_status.as_deref(), Some("empty_window"));
+        assert_eq!(snap.last_fallback_reason.as_deref(), Some("empty_window"));
+        assert_eq!(snap.fallbacks, 1);
+        assert!(!snap.is_ok());
+        // A later trained window clears the degraded flag but keeps the
+        // cumulative count.
+        health.record_window(2, "trained", None);
+        let snap = health.snapshot();
+        assert!(snap.is_ok());
+        assert_eq!(snap.fallbacks, 1);
+        assert!(snap.to_json().contains("\"last_window\":2"));
+    }
+
+    #[test]
+    fn begin_loop_resets_previous_state() {
+        let health = HealthState::new();
+        health.begin_loop(2);
+        health.record_window(1, "trained", None);
+        health.begin_loop(3);
+        let snap = health.snapshot();
+        assert_eq!(snap.windows_total, 3);
+        assert_eq!(snap.last_window, None);
+        assert_eq!(snap.fallbacks, 0);
+    }
+}

@@ -15,7 +15,11 @@
 //!   `sweep_complete`, `temperature_update`, `q_delta`,
 //!   `convergence_check`, `platform_replay`, ...) with no-op defaults;
 //! - [`Event`] / [`JsonlSink`]: structured JSONL export of events and
-//!   final metric snapshots.
+//!   final metric snapshots;
+//! - [`EventBus`] + [`MetricsServer`]: the live observability plane —
+//!   bounded drop-on-full fan-out of the same event lines, exposed over
+//!   HTTP as `/metrics` (Prometheus text), `/snapshot`, `/healthz`, and
+//!   `/events` (NDJSON).
 //!
 //! Everything is std-only. Attaching telemetry never consumes random
 //! numbers or alters control flow, so a seeded run produces
@@ -42,16 +46,24 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod bus;
 mod event;
+mod health;
 mod metrics;
 mod observer;
+mod prometheus;
+mod serve;
 
+pub use bus::{EventBus, PublishOutcome, Subscription, DEFAULT_SUBSCRIBER_CAPACITY};
 pub use event::{snapshot_to_json, Event, JsonlSink, Value};
+pub use health::{HealthSnapshot, HealthState};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
     DURATION_MS_BOUNDS,
 };
 pub use observer::{NoopObserver, ObserverHandle, TrainingObserver};
+pub use prometheus::{render_prometheus, render_prometheus_namespaced, NAMESPACE};
+pub use serve::MetricsServer;
 
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -63,6 +75,12 @@ const SWEEP_EVENT_SAMPLE: u64 = 1_000;
 struct Inner {
     registry: MetricsRegistry,
     sink: Option<JsonlSink>,
+    /// Live fan-out of the same serialized lines the sink persists
+    /// (`/events` endpoint, `watch` subcommand, tests). Bounded and
+    /// drop-on-full, so consumers can never block `emit`.
+    bus: Option<EventBus>,
+    /// Last-value-wins loop status served by `/healthz`.
+    health: HealthState,
     /// Stack of active span names for building nested `a/b/c` paths.
     /// Spans are scoped to the pipeline's driver thread; concurrent
     /// spans from other threads would interleave paths, so workers
@@ -75,6 +93,7 @@ impl std::fmt::Debug for Inner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Inner")
             .field("sink", &self.sink.is_some())
+            .field("bus", &self.bus.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -93,29 +112,34 @@ pub struct Telemetry {
 impl Telemetry {
     /// An enabled handle with a fresh registry and no event sink.
     pub fn new() -> Self {
-        Self::build(None)
+        Self::with_parts(None, None)
     }
 
     /// An enabled handle that also streams events to `sink`.
     pub fn with_sink(sink: JsonlSink) -> Self {
-        Self::build(Some(sink))
+        Self::with_parts(Some(sink), None)
+    }
+
+    /// An enabled handle with any combination of a JSONL `sink` and a
+    /// live [`EventBus`]; [`Telemetry::emit`] serializes each event once
+    /// and fans the line into both.
+    pub fn with_parts(sink: Option<JsonlSink>, bus: Option<EventBus>) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                registry: MetricsRegistry::new(),
+                sink,
+                bus,
+                health: HealthState::new(),
+                span_stack: Mutex::new(Vec::new()),
+                epoch: Instant::now(),
+            })),
+        }
     }
 
     /// A disabled handle: every operation is a no-op and
     /// [`Telemetry::snapshot`] returns `None`.
     pub fn disabled() -> Self {
         Telemetry { inner: None }
-    }
-
-    fn build(sink: Option<JsonlSink>) -> Self {
-        Telemetry {
-            inner: Some(Arc::new(Inner {
-                registry: MetricsRegistry::new(),
-                sink,
-                span_stack: Mutex::new(Vec::new()),
-                epoch: Instant::now(),
-            })),
-        }
     }
 
     /// Whether this handle records anything.
@@ -128,16 +152,34 @@ impl Telemetry {
         self.inner.as_deref().map(|inner| &inner.registry)
     }
 
+    /// The attached live event bus, if any.
+    pub fn bus(&self) -> Option<&EventBus> {
+        self.inner.as_deref().and_then(|inner| inner.bus.as_ref())
+    }
+
+    /// The live health record, if enabled.
+    pub fn health(&self) -> Option<HealthState> {
+        self.inner.as_deref().map(|inner| inner.health.clone())
+    }
+
     /// A deterministic snapshot of all metrics, if enabled.
     pub fn snapshot(&self) -> Option<MetricsSnapshot> {
         self.registry().map(MetricsRegistry::snapshot)
     }
 
-    /// Emits one structured event to the sink (no-op without a sink).
+    /// Emits one structured event: serialized once, then fanned to the
+    /// JSONL sink and the live bus (no-op when neither is attached).
     pub fn emit(&self, event: &Event) {
         if let Some(inner) = self.inner.as_deref() {
+            if inner.sink.is_none() && inner.bus.is_none() {
+                return;
+            }
+            let line = event.to_json();
             if let Some(sink) = &inner.sink {
-                sink.write(event);
+                sink.write_line(&line);
+            }
+            if let Some(bus) = &inner.bus {
+                bus.publish(&line);
             }
         }
     }
@@ -176,13 +218,20 @@ impl Telemetry {
         }
     }
 
-    /// Writes a final metrics snapshot to the sink (no-op without one)
-    /// and flushes it.
+    /// Writes a final metrics snapshot to the sink (flushed) and the
+    /// live bus; a no-op when neither is attached.
     pub fn finish(&self) {
         if let Some(inner) = self.inner.as_deref() {
+            if inner.sink.is_none() && inner.bus.is_none() {
+                return;
+            }
+            let line = snapshot_to_json(&inner.registry.snapshot());
             if let Some(sink) = &inner.sink {
-                sink.write_line(&snapshot_to_json(&inner.registry.snapshot()));
+                sink.write_line(&line);
                 sink.flush();
+            }
+            if let Some(bus) = &inner.bus {
+                bus.publish(&line);
             }
         }
     }

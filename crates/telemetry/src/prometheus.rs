@@ -1,0 +1,160 @@
+//! Prometheus text-format exposition of a [`MetricsSnapshot`].
+//!
+//! Renders the registry's counters, gauges, and fixed-bucket histograms
+//! in the Prometheus text format (version 0.0.4): `# TYPE` headers,
+//! cumulative `_bucket{le="..."}` series ending in `+Inf`, and `_sum` /
+//! `_count` series. Metric names are sanitized to the
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*` alphabet (dots and other separators become
+//! underscores) and prefixed with a namespace, so `train.sweeps.type3`
+//! exposes as `autorecover_train_sweeps_type3`.
+
+use std::fmt::Write as _;
+
+use crate::MetricsSnapshot;
+
+/// Default metric-name namespace.
+pub const NAMESPACE: &str = "autorecover";
+
+/// Renders `snapshot` in the Prometheus text exposition format under the
+/// default [`NAMESPACE`].
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    render_prometheus_namespaced(snapshot, NAMESPACE)
+}
+
+/// [`render_prometheus`] with an explicit metric-name namespace.
+pub fn render_prometheus_namespaced(snapshot: &MetricsSnapshot, namespace: &str) -> String {
+    let mut out = String::with_capacity(1024);
+    for (name, value) in &snapshot.counters {
+        let metric = metric_name(namespace, name);
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let metric = metric_name(namespace, name);
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        let _ = writeln!(out, "{metric} {}", format_value(*value));
+    }
+    for (name, h) in &snapshot.histograms {
+        let metric = metric_name(namespace, name);
+        let _ = writeln!(out, "# TYPE {metric} histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in h.bounds.iter().zip(&h.buckets) {
+            cumulative += count;
+            let _ = writeln!(
+                out,
+                "{metric}_bucket{{le=\"{}\"}} {cumulative}",
+                format_value(*bound)
+            );
+        }
+        // The overflow bucket: everything above the last bound. The
+        // cumulative +Inf count equals the total observation count by
+        // construction.
+        cumulative += h.buckets.last().copied().unwrap_or(0);
+        let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{metric}_sum {}", format_value(h.sum));
+        let _ = writeln!(out, "{metric}_count {}", h.count);
+    }
+    out
+}
+
+/// Sanitizes one registry metric name into the Prometheus alphabet and
+/// prefixes the namespace.
+fn metric_name(namespace: &str, name: &str) -> String {
+    let mut out = String::with_capacity(namespace.len() + name.len() + 1);
+    out.push_str(namespace);
+    out.push('_');
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Prometheus float rendering: plain decimal for finite values, the
+/// spec's `NaN` / `+Inf` / `-Inf` spellings otherwise.
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MetricsRegistry, DURATION_MS_BOUNDS};
+
+    #[test]
+    fn names_are_sanitized_and_namespaced() {
+        assert_eq!(
+            metric_name("autorecover", "train.sweeps.type3"),
+            "autorecover_train_sweeps_type3"
+        );
+        assert_eq!(
+            metric_name("autorecover", "span.pipeline/train.ms"),
+            "autorecover_span_pipeline_train_ms"
+        );
+    }
+
+    #[test]
+    fn counters_and_gauges_render_with_type_headers() {
+        let registry = MetricsRegistry::new();
+        registry.counter("loop.fallbacks").add(3);
+        registry.gauge("train.temperature").set(1.5);
+        let text = render_prometheus(&registry.snapshot());
+        assert!(text.contains("# TYPE autorecover_loop_fallbacks counter\n"));
+        assert!(text.contains("autorecover_loop_fallbacks 3\n"));
+        assert!(text.contains("# TYPE autorecover_train_temperature gauge\n"));
+        assert!(text.contains("autorecover_train_temperature 1.5\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_in_inf() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("lat", &[1.0, 10.0]);
+        for v in [0.5, 0.7, 5.0, 100.0] {
+            h.record(v);
+        }
+        let text = render_prometheus(&registry.snapshot());
+        assert!(text.contains("# TYPE autorecover_lat histogram\n"));
+        assert!(
+            text.contains("autorecover_lat_bucket{le=\"1\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("autorecover_lat_bucket{le=\"10\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("autorecover_lat_bucket{le=\"+Inf\"} 4\n"),
+            "{text}"
+        );
+        assert!(text.contains("autorecover_lat_count 4\n"), "{text}");
+        assert!(text.contains("autorecover_lat_sum 106.2\n"), "{text}");
+    }
+
+    #[test]
+    fn duration_bounds_render_as_plain_decimals() {
+        let registry = MetricsRegistry::new();
+        registry.histogram("ms", &DURATION_MS_BOUNDS).record(0.1);
+        let text = render_prometheus(&registry.snapshot());
+        assert!(text.contains("le=\"0.25\""), "{text}");
+        assert!(text.contains("le=\"65536\""), "{text}");
+    }
+
+    #[test]
+    fn non_finite_values_use_spec_spellings() {
+        assert_eq!(format_value(f64::NAN), "NaN");
+        assert_eq!(format_value(f64::INFINITY), "+Inf");
+        assert_eq!(format_value(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(format_value(0.25), "0.25");
+    }
+}

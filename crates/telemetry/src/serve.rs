@@ -1,0 +1,394 @@
+//! The live exposition server: a minimal std-only blocking-TCP HTTP
+//! endpoint behind the CLI's global `--metrics-listen ADDR` flag.
+//!
+//! Four routes, all read-only views of one [`Telemetry`] handle:
+//!
+//! | route       | body                                                   |
+//! |-------------|--------------------------------------------------------|
+//! | `/metrics`  | Prometheus text format of the metrics snapshot         |
+//! | `/snapshot` | the JSONL sink's `snapshot` object, as one JSON body   |
+//! | `/healthz`  | loop status: phase, last window, fallback reason       |
+//! | `/events`   | NDJSON stream of live telemetry events (off the bus)   |
+//!
+//! The server is deliberately primitive — one accept thread polling a
+//! non-blocking listener, one short-lived thread per connection, HTTP/1.0
+//! semantics with `Connection: close` — because it must never compete
+//! with the pipeline it observes: every handler only *reads* snapshots
+//! or subscribes to the bounded [`EventBus`], whose backpressure rule
+//! (drop, never block) already guarantees a stuck scraper cannot perturb
+//! training. Byte-identity of trained policies with the server on or off
+//! is enforced by `tests/observe.rs`.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::event::snapshot_to_json;
+use crate::prometheus::render_prometheus;
+use crate::Telemetry;
+
+/// How long the accept loop sleeps between polls of the non-blocking
+/// listener (also bounds shutdown latency).
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Read timeout for one incoming request head.
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How long an `/events` stream waits for the next bus line before
+/// re-checking the shutdown flag.
+const EVENT_POLL: Duration = Duration::from_millis(200);
+
+/// A running exposition server bound to one local address.
+///
+/// Dropping the server signals shutdown and joins the accept thread;
+/// in-flight connection handlers finish on their own (event streams
+/// re-check the shutdown flag a few times per second).
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9187`, port `0` for an ephemeral
+    /// port) and starts serving views of `telemetry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the address cannot be
+    /// bound.
+    pub fn bind(addr: &str, telemetry: Telemetry) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = stop.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("metrics-serve".to_string())
+            .spawn(move || accept_loop(listener, telemetry, accept_stop))?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The actually bound address (resolves port `0` requests).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the accept loop to stop taking new connections.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, telemetry: Telemetry, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let telemetry = telemetry.clone();
+                let stop = stop.clone();
+                // Handlers are short-lived (snapshot renders) or
+                // self-terminating (event streams watch `stop`); they are
+                // deliberately detached.
+                let _ = std::thread::Builder::new()
+                    .name("metrics-conn".to_string())
+                    .spawn(move || {
+                        let _ = handle_connection(stream, &telemetry, &stop);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    telemetry: &Telemetry,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(REQUEST_TIMEOUT))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let path = match read_request_path(&mut reader)? {
+        Some(path) => path,
+        None => return Ok(()),
+    };
+    let mut stream = stream;
+    match path.as_str() {
+        "/metrics" => {
+            let body = telemetry
+                .snapshot()
+                .map(|snap| render_prometheus(&snap))
+                .unwrap_or_default();
+            write_response(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/snapshot" => {
+            let body = telemetry
+                .snapshot()
+                .map(|snap| snapshot_to_json(&snap))
+                .unwrap_or_else(|| "{\"type\":\"snapshot\"}".to_string());
+            write_response(&mut stream, "200 OK", "application/json", &body)
+        }
+        "/healthz" => {
+            let body = telemetry
+                .health()
+                .map(|h| h.snapshot())
+                .unwrap_or_default()
+                .to_json();
+            write_response(&mut stream, "200 OK", "application/json", &body)
+        }
+        "/events" => stream_events(stream, telemetry, stop),
+        _ => write_response(
+            &mut stream,
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found: /metrics /snapshot /healthz /events\n",
+        ),
+    }
+}
+
+/// Reads the request head and returns the path of a `GET` request
+/// (query strings stripped), or `None` for anything unparsable.
+fn read_request_path(reader: &mut BufReader<TcpStream>) -> io::Result<Option<String>> {
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line)? == 0 {
+        return Ok(None);
+    }
+    // Drain the header block so the client never sees a reset while the
+    // request is still in flight (bounded: 8 KiB of headers).
+    let mut drained = 0usize;
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header)?;
+        drained += n;
+        if n == 0 || header == "\r\n" || header == "\n" || drained > 8192 {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m, t),
+        _ => return Ok(None),
+    };
+    if !method.eq_ignore_ascii_case("GET") {
+        return Ok(None);
+    }
+    let path = target.split('?').next().unwrap_or(target);
+    Ok(Some(path.to_string()))
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Streams NDJSON events off the bus until the bus closes, the client
+/// disconnects, or the server shuts down. The first line is the current
+/// health record, so late subscribers know where the loop stands.
+fn stream_events(
+    mut stream: TcpStream,
+    telemetry: &Telemetry,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    let Some(bus) = telemetry.bus() else {
+        return write_response(
+            &mut stream,
+            "503 Service Unavailable",
+            "text/plain; charset=utf-8",
+            "no event bus attached (is --metrics-listen set?)\n",
+        );
+    };
+    let subscription = bus.subscribe();
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n",
+    )?;
+    if let Some(health) = telemetry.health() {
+        stream.write_all(health.snapshot().to_json().as_bytes())?;
+        stream.write_all(b"\n")?;
+    }
+    stream.flush()?;
+    loop {
+        match subscription.recv_timeout(EVENT_POLL) {
+            Some(line) => {
+                stream.write_all(line.as_bytes())?;
+                stream.write_all(b"\n")?;
+                stream.flush()?;
+            }
+            None => {
+                if stop.load(Ordering::SeqCst)
+                    || (subscription.is_closed() && subscription.lag() == 0)
+                {
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventBus, JsonlSink};
+    use std::io::Read;
+
+    /// Blocking one-shot HTTP GET against the test server.
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header block");
+        (head.to_string(), body.to_string())
+    }
+
+    fn test_telemetry() -> Telemetry {
+        let telemetry = Telemetry::with_parts(None, Some(EventBus::default()));
+        telemetry
+            .registry()
+            .unwrap()
+            .counter("loop.fallbacks")
+            .add(2);
+        telemetry
+            .registry()
+            .unwrap()
+            .gauge("train.temperature")
+            .set(1.5);
+        telemetry
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let telemetry = test_telemetry();
+        let server = MetricsServer::bind("127.0.0.1:0", telemetry).expect("bind");
+        let (head, body) = http_get(server.local_addr(), "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+        assert!(body.contains("autorecover_loop_fallbacks 2\n"), "{body}");
+        assert!(
+            body.contains("autorecover_train_temperature 1.5\n"),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn snapshot_and_healthz_serve_json() {
+        let telemetry = test_telemetry();
+        telemetry.health().unwrap().begin_loop(3);
+        telemetry
+            .health()
+            .unwrap()
+            .record_window(1, "trained", None);
+        let server = MetricsServer::bind("127.0.0.1:0", telemetry).expect("bind");
+        let (head, body) = http_get(server.local_addr(), "/snapshot");
+        assert!(head.contains("application/json"), "{head}");
+        assert!(body.starts_with("{\"type\":\"snapshot\""), "{body}");
+        assert!(body.contains("\"loop.fallbacks\":2"), "{body}");
+        let (_, body) = http_get(server.local_addr(), "/healthz");
+        assert!(body.contains("\"phase\":\"running\""), "{body}");
+        assert!(body.contains("\"last_window\":1"), "{body}");
+    }
+
+    #[test]
+    fn unknown_routes_get_404_and_post_is_dropped() {
+        let server = MetricsServer::bind("127.0.0.1:0", test_telemetry()).expect("bind");
+        let (head, _) = http_get(server.local_addr(), "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.is_empty(), "non-GET must be dropped, got {out:?}");
+    }
+
+    #[test]
+    fn events_stream_delivers_published_lines_until_close() {
+        let telemetry = test_telemetry();
+        let server = MetricsServer::bind("127.0.0.1:0", telemetry.clone()).expect("bind");
+        let addr = server.local_addr();
+        let reader = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            write!(stream, "GET /events HTTP/1.1\r\n\r\n").unwrap();
+            let mut lines = Vec::new();
+            // Read until EOF (server closes once the bus drains); skip
+            // the blank line separating headers from the body.
+            for line in BufReader::new(stream).lines() {
+                match line {
+                    Ok(l) => {
+                        if !l.is_empty() {
+                            lines.push(l);
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            lines
+        });
+        // Give the subscriber a moment to attach, then publish and close.
+        let bus = telemetry.bus().unwrap().clone();
+        while !bus.has_subscribers() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        telemetry.emit(&crate::Event::new("window").with("window", 0u64));
+        bus.close();
+        let lines = reader.join().unwrap();
+        // Headers, then the health hello, then the published event.
+        let body_start = lines
+            .iter()
+            .position(|l| l.starts_with('{'))
+            .expect("json lines present");
+        assert!(
+            lines[body_start].starts_with("{\"type\":\"health\""),
+            "{lines:?}"
+        );
+        assert!(
+            lines[body_start + 1..]
+                .iter()
+                .any(|l| l.starts_with("{\"type\":\"window\"")),
+            "{lines:?}"
+        );
+    }
+
+    #[test]
+    fn events_without_a_bus_get_503() {
+        let telemetry =
+            Telemetry::with_parts(Some(JsonlSink::from_writer(Box::new(io::sink()))), None);
+        let server = MetricsServer::bind("127.0.0.1:0", telemetry).expect("bind");
+        let (head, body) = http_get(server.local_addr(), "/events");
+        assert!(head.starts_with("HTTP/1.1 503"), "{head}");
+        assert!(body.contains("no event bus"), "{body}");
+    }
+}

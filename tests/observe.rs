@@ -1,0 +1,310 @@
+//! Integration tests of the live observability plane: the continuous
+//! loop with an attached event bus + exposition server produces
+//! byte-identical outcomes and policies, `/metrics` emits valid
+//! Prometheus text, `/healthz` tracks the loop, and `/events` streams
+//! the per-window summaries live.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use recovery_core::fault::LoopFaultPlan;
+use recovery_core::persist::policy_to_text;
+use recovery_core::pipeline::{run_continuous_loop_full, ContinuousLoopConfig};
+use recovery_core::trainer::TrainerConfig;
+use recovery_simlog::{CatalogConfig, ClusterConfig, FaultCatalog, SimDuration};
+use recovery_telemetry::{EventBus, MetricsServer, Telemetry};
+
+fn small_cluster() -> ClusterConfig {
+    ClusterConfig {
+        machines: 60,
+        horizon: SimDuration::from_days(30),
+        mean_fault_interarrival: SimDuration::from_days(3),
+        ..ClusterConfig::default()
+    }
+}
+
+fn small_catalog() -> FaultCatalog {
+    CatalogConfig::default().with_fault_types(8).generate(5)
+}
+
+fn loop_config(windows: usize, threads: usize) -> ContinuousLoopConfig {
+    ContinuousLoopConfig {
+        windows,
+        top_k: 8,
+        threads,
+        trainer: TrainerConfig::fast(),
+        seed: 0x0B5E,
+        ..ContinuousLoopConfig::new(small_cluster())
+    }
+}
+
+/// Plain blocking HTTP GET, returning (head, body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to metrics server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("header separator");
+    (head.to_string(), body.to_string())
+}
+
+/// The whole live plane attached — bus with a stalled subscriber, bound
+/// exposition server — must not move a single byte of the loop's
+/// outcomes or trained policy, at 1 worker thread and at 4.
+#[test]
+fn live_observability_does_not_change_loop_outcomes_or_policy() {
+    let catalog = small_catalog();
+    let baseline = run_continuous_loop_full(&catalog, &loop_config(3, 1), &Telemetry::disabled());
+    let baseline_policy = baseline
+        .policy
+        .as_ref()
+        .map(|p| policy_to_text(p, catalog.symptoms()))
+        .expect("the baseline loop trains a policy");
+
+    for threads in [1, 4] {
+        let bus = EventBus::default();
+        let stalled = bus.subscribe_with_capacity(1);
+        let healthy = bus.subscribe();
+        let telemetry = Telemetry::with_parts(None, Some(bus.clone()));
+        let server = MetricsServer::bind("127.0.0.1:0", telemetry.clone()).expect("bind");
+        let observed = run_continuous_loop_full(&catalog, &loop_config(3, threads), &telemetry);
+        drop(server);
+
+        assert_eq!(
+            observed.outcomes, baseline.outcomes,
+            "observed outcomes drifted at {threads} threads"
+        );
+        let observed_policy = observed
+            .policy
+            .as_ref()
+            .map(|p| policy_to_text(p, catalog.symptoms()))
+            .expect("the observed loop trains a policy");
+        assert_eq!(
+            observed_policy, baseline_policy,
+            "the live plane changed policy bytes at {threads} threads"
+        );
+        // The plane really was live: window events flowed, the stalled
+        // subscriber was forced onto the drop path, and health tracked
+        // the loop to completion.
+        let window_events: Vec<String> = healthy
+            .drain()
+            .into_iter()
+            .filter(|l| l.starts_with("{\"type\":\"window\""))
+            .collect();
+        assert_eq!(window_events.len(), 3, "one event per window");
+        for line in &window_events {
+            for field in [
+                "\"q_delta_tail\":",
+                "\"pool_panics\":",
+                "\"pool_retries\":",
+                "\"pool_exhausted\":",
+                "\"fallbacks\":",
+                "\"fallback_reason\":",
+            ] {
+                assert!(line.contains(field), "missing {field} in {line}");
+            }
+        }
+        assert!(stalled.dropped() > 0, "stalled subscriber never dropped");
+        let health = telemetry.health().expect("enabled").snapshot();
+        assert_eq!(health.phase, "completed");
+        assert_eq!(health.last_window, Some(2));
+        assert_eq!(health.fallbacks, 0);
+    }
+}
+
+/// Window events must be byte-identical across thread counts — the
+/// enriched fields (Q-delta tail, cumulative pool/loop counters) carry
+/// no wall-clock and no thread-dependent state.
+#[test]
+fn enriched_window_events_are_byte_identical_across_thread_counts() {
+    let catalog = small_catalog();
+    let events_at = |threads: usize| {
+        let bus = EventBus::default();
+        let sub = bus.subscribe_with_capacity(4096);
+        let telemetry = Telemetry::with_parts(None, Some(bus));
+        let _ = run_continuous_loop_full(&catalog, &loop_config(3, threads), &telemetry);
+        sub.drain()
+            .into_iter()
+            .filter(|l| l.starts_with("{\"type\":\"window\""))
+            .collect::<Vec<_>>()
+    };
+    let one = events_at(1);
+    let four = events_at(4);
+    assert!(!one.is_empty());
+    assert_eq!(one, four, "window event bytes depend on the thread count");
+}
+
+/// Strict line-level validation of the Prometheus text format 0.0.4:
+/// `# TYPE` headers, sane metric names, parsable values, cumulative
+/// histogram buckets ending in `+Inf` that equal `_count`.
+fn assert_valid_prometheus(body: &str) {
+    assert!(!body.trim().is_empty(), "empty /metrics body");
+    let name_ok = |name: &str| {
+        !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            && !name.starts_with(|c: char| c.is_ascii_digit())
+    };
+    let mut bucket_cumulative: Option<(String, u64)> = None;
+    let mut last_inf: std::collections::BTreeMap<String, u64> = Default::default();
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("type header has a name");
+            let kind = parts.next().expect("type header has a kind");
+            assert!(name_ok(name), "bad metric name {name:?}");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown kind {kind:?}"
+            );
+            assert_eq!(parts.next(), None, "trailing junk in {line:?}");
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unexpected comment {line:?}");
+        let (series, value) = line
+            .rsplit_once(' ')
+            .expect("sample lines are `name value`");
+        let parses = value.parse::<f64>().is_ok() || matches!(value, "NaN" | "+Inf" | "-Inf");
+        assert!(parses, "unparsable sample value {value:?} in {line:?}");
+        if let Some((name, labels)) = series.split_once('{') {
+            // Only histogram buckets carry labels in our exposition.
+            assert!(name.ends_with("_bucket"), "unexpected labels on {name:?}");
+            assert!(name_ok(name.trim_end_matches("_bucket")));
+            let le = labels
+                .strip_prefix("le=\"")
+                .and_then(|l| l.strip_suffix("\"}"))
+                .unwrap_or_else(|| panic!("malformed bucket labels {labels:?}"));
+            assert!(le.parse::<f64>().is_ok() || le == "+Inf", "bad le {le:?}");
+            let count: u64 = value.parse().expect("bucket counts are integers");
+            let base = name.trim_end_matches("_bucket").to_string();
+            match &mut bucket_cumulative {
+                Some((prev, cum)) if *prev == base => {
+                    assert!(count >= *cum, "non-cumulative buckets in {line:?}");
+                    *cum = count;
+                }
+                _ => bucket_cumulative = Some((base.clone(), count)),
+            }
+            if le == "+Inf" {
+                last_inf.insert(base, count);
+            }
+        } else {
+            assert!(name_ok(series), "bad series name {series:?}");
+            if let Some(base) = series.strip_suffix("_count") {
+                let count: u64 = value.parse().expect("_count is an integer");
+                assert_eq!(
+                    last_inf.get(base),
+                    Some(&count),
+                    "+Inf bucket disagrees with _count for {base}"
+                );
+            }
+        }
+    }
+}
+
+/// `/metrics`, `/snapshot`, and `/healthz` expose one degraded loop run:
+/// valid Prometheus text with the loop histogram and fallback counters,
+/// the JSON snapshot, and the last window's fallback reason.
+#[test]
+fn exposition_endpoints_reflect_a_degraded_loop() {
+    let catalog = small_catalog();
+    let telemetry = Telemetry::with_parts(None, Some(EventBus::default()));
+    let server = MetricsServer::bind("127.0.0.1:0", telemetry.clone()).expect("bind");
+    let config = ContinuousLoopConfig {
+        faults: LoopFaultPlan::none().with_empty_window(2),
+        ..loop_config(3, 2)
+    };
+    let run = run_continuous_loop_full(&catalog, &config, &telemetry);
+    assert!(!run.outcomes[2].status.is_trained(), "window 2 fell back");
+
+    let (head, body) = http_get(server.local_addr(), "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(
+        head.contains("text/plain; version=0.0.4"),
+        "wrong content type: {head}"
+    );
+    assert_valid_prometheus(&body);
+    assert!(body.contains("autorecover_loop_fallbacks 1\n"), "{body}");
+    assert!(
+        body.contains("autorecover_loop_fallback_empty_window 1\n"),
+        "{body}"
+    );
+    assert!(
+        body.contains("# TYPE autorecover_loop_window_ms histogram\n"),
+        "{body}"
+    );
+    assert!(
+        body.contains("autorecover_loop_window_ms_count 3\n"),
+        "{body}"
+    );
+
+    let (_, snapshot) = http_get(server.local_addr(), "/snapshot");
+    assert!(snapshot.starts_with("{\"type\":\"snapshot\""), "{snapshot}");
+    assert!(snapshot.contains("\"loop.fallbacks\":1"), "{snapshot}");
+
+    let (_, health) = http_get(server.local_addr(), "/healthz");
+    assert!(health.contains("\"ok\":false"), "{health}");
+    assert!(health.contains("\"phase\":\"completed\""), "{health}");
+    assert!(health.contains("\"last_window\":2"), "{health}");
+    assert!(
+        health.contains("\"last_fallback_reason\":\"empty_window\""),
+        "{health}"
+    );
+    assert!(health.contains("\"fallbacks\":1"), "{health}");
+}
+
+/// `/events` subscribers connected while the loop runs receive the
+/// per-window summaries as they happen, then a clean end-of-stream once
+/// the bus closes.
+#[test]
+fn events_endpoint_streams_window_summaries_live() {
+    let catalog = small_catalog();
+    let telemetry = Telemetry::with_parts(None, Some(EventBus::default()));
+    let server = MetricsServer::bind("127.0.0.1:0", telemetry.clone()).expect("bind");
+    let addr = server.local_addr();
+
+    let reader = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        write!(stream, "GET /events HTTP/1.1\r\n\r\n").unwrap();
+        let mut body = String::new();
+        stream.read_to_string(&mut body).expect("stream to EOF");
+        body
+    });
+    // Don't start the loop until the subscriber is attached, so the
+    // stream provably carries events published *after* connect.
+    let bus = telemetry.bus().unwrap().clone();
+    while !bus.has_subscribers() {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let run = run_continuous_loop_full(&catalog, &loop_config(3, 2), &telemetry);
+    telemetry.finish();
+    bus.close();
+
+    let body = reader.join().expect("reader thread");
+    let lines: Vec<&str> = body.lines().filter(|l| l.starts_with('{')).collect();
+    assert!(
+        lines[0].starts_with("{\"type\":\"health\""),
+        "the stream greets with health: {lines:?}"
+    );
+    let windows: Vec<&&str> = lines
+        .iter()
+        .filter(|l| l.starts_with("{\"type\":\"window\""))
+        .collect();
+    assert_eq!(windows.len(), run.outcomes.len(), "{lines:?}");
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.starts_with("{\"type\":\"snapshot\"")),
+        "finish() publishes the final snapshot to the bus: {lines:?}"
+    );
+}

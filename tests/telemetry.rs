@@ -3,6 +3,7 @@
 //! changes trained policies, and the sweep-level hooks report what the
 //! paper's training loop actually does.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 
 use recovery_core::experiment::{ExperimentContext, TestRun, TestRunConfig};
@@ -12,7 +13,7 @@ use recovery_core::selection_tree::{SelectionTreeConfig, SelectionTreeTrainer};
 use recovery_core::trainer::{OfflineTrainer, TrainerConfig};
 use recovery_diagnostics::DiagnosticsRecorder;
 use recovery_simlog::{GeneratorConfig, LogGenerator, RepairAction};
-use recovery_telemetry::{ObserverHandle, Telemetry, TrainingObserver};
+use recovery_telemetry::{Event, EventBus, JsonlSink, ObserverHandle, Telemetry, TrainingObserver};
 
 fn small_context() -> ExperimentContext {
     let mut generated = LogGenerator::new(GeneratorConfig::small()).generate();
@@ -118,6 +119,87 @@ fn observation_does_not_change_trained_policies() {
     for (a, b) in stats_a.iter().zip(&stats_b) {
         assert_eq!(a.sweeps, b.sweeps);
         assert_eq!(a.converged, b.converged);
+    }
+}
+
+/// The bus side of the purity contract: a deliberately stalled
+/// subscriber (queue capacity 1, never drained) forces the bus onto its
+/// drop path during training, and the trained policy must still be
+/// byte-identical to an unobserved run — at 1 worker thread and at 4.
+#[test]
+fn a_stalled_bus_subscriber_drops_events_without_perturbing_training() {
+    let ctx = small_context();
+    let (train, _) = recovery_core::evaluate::time_ordered_split(&ctx.clean, 0.4);
+    let symptoms = {
+        let generated = LogGenerator::new(GeneratorConfig::small()).generate();
+        generated.log.symptoms().clone()
+    };
+    let train_with = |telemetry: &Telemetry, threads: usize| {
+        let trainer = OfflineTrainer::new(train, TrainerConfig::fast())
+            .with_observer(telemetry.observer_handle())
+            .with_threads(threads);
+        let tree = SelectionTreeTrainer::new(&trainer, SelectionTreeConfig::default());
+        let (policy, _) = tree.train(&ctx.types);
+        policy_to_text(&policy, &symptoms)
+    };
+    let baseline = train_with(&Telemetry::disabled(), 1);
+    for threads in [1, 4] {
+        let bus = EventBus::default();
+        let stalled = bus.subscribe_with_capacity(1);
+        let healthy = bus.subscribe();
+        let telemetry = Telemetry::with_parts(None, Some(bus.clone()));
+        let text = train_with(&telemetry, threads);
+        telemetry.finish();
+        assert_eq!(
+            text, baseline,
+            "a bus with a stalled subscriber changed the policy at {threads} threads"
+        );
+        assert!(bus.published() > 0, "training published no events");
+        assert_eq!(
+            stalled.lag(),
+            1,
+            "the stalled queue holds exactly its capacity"
+        );
+        assert!(
+            stalled.dropped() > 0,
+            "the stalled subscriber never overflowed ({} published)",
+            bus.published()
+        );
+        assert_eq!(stalled.dropped(), bus.published() - 1);
+        assert_eq!(bus.dropped(), stalled.dropped());
+        // The healthy subscriber saw the whole stream, drops and all.
+        assert_eq!(healthy.dropped(), 0);
+        assert_eq!(healthy.drain().len() as u64, bus.published());
+    }
+}
+
+/// A run that panics mid-flight must still leave complete JSONL lines:
+/// unwinding drops the telemetry handle, and the sink flushes on drop.
+#[test]
+fn a_panicking_run_still_leaves_complete_jsonl_lines() {
+    let path = std::env::temp_dir().join(format!(
+        "autorecover-panic-flush-{}.jsonl",
+        std::process::id()
+    ));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let telemetry = Telemetry::with_sink(JsonlSink::to_file(path.to_str().unwrap()).unwrap());
+        for i in 0..100u64 {
+            telemetry.emit(&Event::new("tick").with("i", i));
+        }
+        // No finish(), no explicit flush: the lines above are sitting in
+        // the BufWriter when the panic unwinds.
+        panic!("injected mid-run abort");
+    }));
+    assert!(result.is_err(), "the run must actually panic");
+    let text = std::fs::read_to_string(&path).expect("sink file exists");
+    std::fs::remove_file(&path).ok();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 100, "every emitted line survived the panic");
+    for (i, line) in lines.iter().enumerate() {
+        assert!(
+            line.starts_with("{\"type\":\"tick\"") && line.ends_with('}'),
+            "line {i} is incomplete: {line:?}"
+        );
     }
 }
 
