@@ -2,14 +2,18 @@
 
 use std::fs;
 use std::path::Path;
+use std::time::Duration;
 
 use recovery_core::error_type::NoiseFilter;
 use recovery_core::evaluate::{evaluate_parallel, time_ordered_split};
 use recovery_core::experiment::{fig3_cohesion_curve, ExperimentContext, TestRun, TestRunConfig};
+use recovery_core::fault::LoopFaultPlan;
 use recovery_core::ingest::{self, ParseErrorPolicy};
 use recovery_core::parallel::WorkerPool;
 use recovery_core::persist::{policy_from_text, policy_to_text};
-use recovery_core::pipeline::{run_continuous_loop_full, ContinuousLoopConfig};
+use recovery_core::pipeline::{
+    run_continuous_loop_full, run_continuous_loop_published, ContinuousLoopConfig,
+};
 use recovery_core::platform::{CostEstimation, SimulationPlatform};
 use recovery_core::policy::{HybridPolicy, LivePolicy, TrainedPolicy, UserStatePolicy};
 use recovery_core::selection_tree::{SelectionTreeConfig, SelectionTreeTrainer};
@@ -18,10 +22,12 @@ use recovery_diagnostics::{
     assemble, diff_policies, explain_policy, DiagnosticsRecorder, ExplainOptions, RunReportInputs,
 };
 use recovery_mpattern::MPatternMiner;
+use recovery_serve::{publish_snapshot, PolicySnapshot, PolicyStore, ServeConfig, ServeDaemon};
 use recovery_simlog::{
     availability, stats, ClusterSim, GeneratorConfig, LogGenerator, RecoveryLog, SymptomCatalog,
     UserDefinedPolicy,
 };
+use recovery_telemetry::{EventBus, Telemetry};
 
 use crate::args::Args;
 use crate::session::Session;
@@ -210,6 +216,42 @@ fn parse_threads(args: &Args) -> Result<usize, String> {
             Err(_) => Err(format!("--threads: cannot parse {v:?}")),
         },
     }
+}
+
+/// Parses the shared fault-injection flags (`--fault-empty`,
+/// `--fault-sim-panic`, `--fault-retrain-panic`, `--fault-blackout`):
+/// each is a comma-separated list of 0-based window indices. Shared by
+/// `loop` and `serve` so a faulted serving run can be reproduced
+/// byte-for-byte by an unobserved `loop` with the same flags.
+fn parse_fault_plan(args: &Args) -> Result<LoopFaultPlan, String> {
+    fn windows(args: &Args, flag: &str) -> Result<Vec<usize>, String> {
+        match args.flag(flag) {
+            None => Ok(Vec::new()),
+            Some(list) => list
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    s.parse::<usize>()
+                        .map_err(|_| format!("--{flag}: cannot parse window index {s:?}"))
+                })
+                .collect(),
+        }
+    }
+    let mut plan = LoopFaultPlan::none();
+    for w in windows(args, "fault-empty")? {
+        plan = plan.with_empty_window(w);
+    }
+    for w in windows(args, "fault-sim-panic")? {
+        plan = plan.with_simulation_panic(w);
+    }
+    for w in windows(args, "fault-retrain-panic")? {
+        plan = plan.with_retrain_panic(w);
+    }
+    for w in windows(args, "fault-blackout")? {
+        plan = plan.with_filter_blackout(w);
+    }
+    Ok(plan)
 }
 
 fn trainer_config(method: &str) -> Result<TrainerConfig, String> {
@@ -607,6 +649,7 @@ pub fn continuous_loop(args: &Args, session: &Session) -> Result<(), String> {
         windows,
         seed,
         threads,
+        faults: parse_fault_plan(args)?,
         ..ContinuousLoopConfig::new(generator.cluster)
     };
     session.info(&format!(
@@ -669,5 +712,181 @@ pub fn continuous_loop(args: &Args, session: &Session) -> Result<(), String> {
         fs::write(&out, &text).map_err(|e| format!("writing {out}: {e}"))?;
         println!("wrote {out}: {} state-action entries", policy.q().len());
     }
+    Ok(())
+}
+
+/// Blocks the main thread while the daemon serves: for the given number
+/// of seconds when `--serve-for` was passed, forever otherwise (the
+/// accept loop runs on its own thread; killing the process is the
+/// expected way to stop an unbounded server).
+fn linger(serve_for: Option<f64>) {
+    match serve_for {
+        Some(secs) => std::thread::sleep(Duration::from_secs_f64(secs)),
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+}
+
+/// `autorecover serve` — the policy-serving daemon: expose a trained
+/// policy over HTTP (`/advise`, `/simulate`, `/policy`, plus the shared
+/// telemetry routes) while hot-reloading it from a live continuous loop
+/// or pinning one loaded from a file.
+pub fn serve(args: &Args, session: &Session) -> Result<(), String> {
+    let listen = args.flag("listen").unwrap_or("127.0.0.1:0").to_owned();
+    let serve_for: Option<f64> = match args.flag("serve-for") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<f64>()
+                .map_err(|_| format!("--serve-for: cannot parse seconds {v:?}"))?,
+        ),
+    };
+    if serve_for.is_some_and(|s| s < 0.0) {
+        return Err("--serve-for must be non-negative".into());
+    }
+    let max_inflight: usize = args.flag_or("max-inflight", ServeConfig::default().max_inflight)?;
+    if max_inflight == 0 {
+        return Err("--max-inflight must be at least 1".into());
+    }
+    // Serving is observability-first: even without --metrics-out the
+    // daemon's /metrics, /healthz, and /events routes should be live, so
+    // fall back to a local registry+bus handle rather than a disabled one.
+    let telemetry = if session.telemetry.is_enabled() {
+        session.telemetry.clone()
+    } else {
+        Telemetry::with_parts(None, Some(EventBus::default()))
+    };
+    let store = PolicyStore::new();
+    let daemon = ServeDaemon::bind(
+        &listen,
+        store.clone(),
+        telemetry.clone(),
+        ServeConfig::default().with_max_inflight(max_inflight),
+    )
+    .map_err(|e| format!("binding {listen}: {e}"))?;
+    println!("serving policy API on http://{}", daemon.local_addr());
+
+    if let Some(policy_path) = args.flag("policy") {
+        // File mode: pin one policy for the daemon's whole lifetime.
+        let policy_text =
+            fs::read_to_string(policy_path).map_err(|e| format!("reading {policy_path}: {e}"))?;
+        let source = format!("file:{policy_path}");
+        let snapshot = if let Some(log_path) = args.flag("log") {
+            // A training log gives /simulate its replay plane. Parse it
+            // first so policy symptoms resolve to the log's catalog ids.
+            let pool = WorkerPool::new(parse_threads(args)?);
+            let log_text =
+                fs::read_to_string(log_path).map_err(|e| format!("reading {log_path}: {e}"))?;
+            let (mut log, quarantine) = ingest::parse_log_with_policy(
+                &log_text,
+                parse_error_policy(args)?,
+                &pool,
+                &telemetry,
+            )
+            .map_err(|e| e.to_string())?;
+            if quarantine.skipped() > 0 {
+                session.info(&format!(
+                    "quarantined {} malformed log lines",
+                    quarantine.skipped()
+                ));
+            }
+            let trained: TrainedPolicy =
+                policy_from_text(&policy_text, log.symptoms_mut()).map_err(|e| e.to_string())?;
+            let processes = ingest::split_processes(&mut log, &pool, &telemetry);
+            PolicySnapshot::build(&trained, log.symptoms(), &source, Some(&processes))
+        } else {
+            let mut symptoms = SymptomCatalog::default();
+            let trained: TrainedPolicy =
+                policy_from_text(&policy_text, &mut symptoms).map_err(|e| e.to_string())?;
+            PolicySnapshot::build(&trained, &symptoms, &source, None)
+        };
+        let published = publish_snapshot(&store, &telemetry, snapshot);
+        println!(
+            "published policy v{} ({}): {} entries, {} advised states",
+            published.version(),
+            published.hash(),
+            published.entries(),
+            published.advised_states()
+        );
+        if let Some(health) = telemetry.health() {
+            health.set_phase("serving");
+        }
+        linger(serve_for);
+        daemon.shutdown();
+        return Ok(());
+    }
+
+    // Loop mode: run the continuous loop beside the daemon and hot-swap
+    // a fresh snapshot after every successfully retrained window. Knobs,
+    // seeding, and fault flags match `autorecover loop` exactly, so an
+    // unobserved loop with the same flags reproduces the served policy
+    // byte for byte.
+    let windows: usize = args.flag_or("windows", 4usize)?;
+    let scale: f64 = args.flag_or("scale", 0.02f64)?;
+    let seed: u64 = args.flag_or("seed", 0x2007_D50Au64)?;
+    let threads = parse_threads(args)?;
+    let policy_out = args.flag("policy-out").map(str::to_owned);
+    if windows < 2 {
+        return Err("--windows must be at least 2".into());
+    }
+    let generator = GeneratorConfig::paper_scale(scale).with_seed(seed);
+    let catalog_seed = generator.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x0CA7_A106;
+    let catalog = generator.catalog.generate(catalog_seed);
+    let config = ContinuousLoopConfig {
+        windows,
+        seed,
+        threads,
+        faults: parse_fault_plan(args)?,
+        ..ContinuousLoopConfig::new(generator.cluster)
+    };
+    session.info(&format!(
+        "running {windows} observation windows of {} machines beside the daemon ...",
+        config.cluster.machines
+    ));
+    let run = run_continuous_loop_published(&catalog, &config, &telemetry, &mut |publication| {
+        if let Some(policy) = publication.policy {
+            let snapshot = PolicySnapshot::build(
+                policy,
+                catalog.symptoms(),
+                &format!("window:{}", publication.window),
+                Some(publication.accumulated),
+            );
+            let published = publish_snapshot(&store, &telemetry, snapshot);
+            session.info(&format!(
+                "window {}: published policy v{} ({})",
+                publication.window,
+                published.version(),
+                published.hash()
+            ));
+        } else {
+            session.info(&format!(
+                "window {}: {} — keeping last-good policy v{}",
+                publication.window,
+                publication.status.label(),
+                store.version()
+            ));
+        }
+    });
+    println!(
+        "loop complete: {} windows, serving policy v{}",
+        run.outcomes.len(),
+        store.version()
+    );
+    if let Some(out) = policy_out {
+        let policy = run
+            .policy
+            .as_ref()
+            .ok_or("--policy-out: no window completed a retraining step, nothing to write")?;
+        let text = policy_to_text(policy, catalog.symptoms());
+        fs::write(&out, &text).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out}: {} state-action entries", policy.q().len());
+    }
+    // The phase flip is the external signal that the loop (and any
+    // --policy-out write) is done and only serving remains.
+    if let Some(health) = telemetry.health() {
+        health.set_phase("serving");
+    }
+    linger(serve_for);
+    daemon.shutdown();
     Ok(())
 }

@@ -68,10 +68,32 @@ COMMANDS:
       states whose chosen action flipped, with both costs.
 
   loop [--windows N] [--scale F] [--seed N] [--policy-out POLICY]
+       [--fault-empty W,..] [--fault-sim-panic W,..]
+       [--fault-retrain-panic W,..] [--fault-blackout W,..]
       The paper's Figure 1 as a running system: alternate observation
       windows and retraining on the accumulated log, reporting the
       realized MTTR per window plus pool/fallback counters.
       --policy-out writes the final retrained policy as a policy file.
+      The --fault-* flags inject scripted faults into the listed 0-based
+      windows (empty observation window, simulation panic, retraining
+      panic, noise-filter blackout) to exercise the degraded paths.
+
+  serve [--listen ADDR] [--serve-for SECS] [--max-inflight N]
+        [--policy POLICY [--log LOG]]
+        [loop flags: --windows/--scale/--seed/--policy-out/--fault-*]
+      Serve a recovery policy over HTTP: POST /advise (ranked actions
+      for a symptom state), POST /simulate (what-if replay of an action
+      sequence), GET /policy and /policy/text (version, hash, canonical
+      text), plus /metrics, /snapshot, /healthz, and /events. With
+      --policy it pins that policy file (add --log to enable /simulate
+      replay against the training corpus); without it, it runs the
+      continuous loop beside the daemon and hot-swaps a new immutable
+      snapshot after every successfully retrained window — a degraded
+      window keeps the last-good policy serving. Every answer carries
+      the policy version and hash. Connections beyond --max-inflight
+      (default 64) are shed with a typed 503. --listen defaults to an
+      ephemeral localhost port; --serve-for bounds the daemon's
+      lifetime (absent = serve until killed).
 
   watch SOURCE [--refresh true] [--follow true] [--limit N]
                [--interval SECS]
@@ -146,6 +168,7 @@ fn main() -> ExitCode {
         "explain" => commands::explain(&parsed, &session),
         "diff-policy" => commands::diff_policy(&parsed, &session),
         "loop" => commands::continuous_loop(&parsed, &session),
+        "serve" => commands::serve(&parsed, &session),
         "watch" => watch::watch(&parsed, &session),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

@@ -22,187 +22,10 @@ use std::io::{BufRead, BufReader, Write as _};
 use std::net::TcpStream;
 use std::time::Duration;
 
+use recovery_telemetry::flatjson::{get, parse_line as parse_event_line, Field};
+
 use crate::args::Args;
 use crate::session::Session;
-
-/// One parsed value from a flat telemetry event line.
-#[derive(Debug, Clone, PartialEq)]
-enum Field {
-    Str(String),
-    Num(f64),
-    Bool(bool),
-    /// `null`, or a nested object/array we skim over (snapshot lines).
-    Other,
-}
-
-impl Field {
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Field::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn as_f64(&self) -> Option<f64> {
-        match self {
-            Field::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-}
-
-/// Minimal parser for one flat JSON object line as produced by the
-/// telemetry `Event` writer. Nested objects/arrays (the final snapshot
-/// line) are balanced-skipped and reported as [`Field::Other`]. Returns
-/// `None` for anything that doesn't look like a JSON object.
-fn parse_event_line(line: &str) -> Option<Vec<(String, Field)>> {
-    let bytes = line.as_bytes();
-    let mut i = 0usize;
-    let mut fields = Vec::new();
-    skip_ws(bytes, &mut i);
-    if bytes.get(i) != Some(&b'{') {
-        return None;
-    }
-    i += 1;
-    loop {
-        skip_ws(bytes, &mut i);
-        match bytes.get(i)? {
-            b'}' => return Some(fields),
-            b',' => {
-                i += 1;
-                continue;
-            }
-            b'"' => {}
-            _ => return None,
-        }
-        let key = parse_string(bytes, &mut i)?;
-        skip_ws(bytes, &mut i);
-        if bytes.get(i) != Some(&b':') {
-            return None;
-        }
-        i += 1;
-        skip_ws(bytes, &mut i);
-        let value = parse_value(bytes, &mut i)?;
-        fields.push((key, value));
-    }
-}
-
-fn skip_ws(bytes: &[u8], i: &mut usize) {
-    while bytes.get(*i).is_some_and(u8::is_ascii_whitespace) {
-        *i += 1;
-    }
-}
-
-/// Parses a `"..."` string starting at `bytes[*i]`, decoding the escape
-/// set the event writer emits (`\"`, `\\`, `\n`, `\r`, `\t`, `\uXXXX`).
-fn parse_string(bytes: &[u8], i: &mut usize) -> Option<String> {
-    if bytes.get(*i) != Some(&b'"') {
-        return None;
-    }
-    *i += 1;
-    let mut out = String::new();
-    loop {
-        match bytes.get(*i)? {
-            b'"' => {
-                *i += 1;
-                return Some(out);
-            }
-            b'\\' => {
-                *i += 1;
-                match bytes.get(*i)? {
-                    b'"' => out.push('"'),
-                    b'\\' => out.push('\\'),
-                    b'/' => out.push('/'),
-                    b'n' => out.push('\n'),
-                    b'r' => out.push('\r'),
-                    b't' => out.push('\t'),
-                    b'b' => out.push('\u{8}'),
-                    b'f' => out.push('\u{c}'),
-                    b'u' => {
-                        let hex = bytes.get(*i + 1..*i + 5)?;
-                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
-                        out.push(char::from_u32(code)?);
-                        *i += 4;
-                    }
-                    _ => return None,
-                }
-                *i += 1;
-            }
-            _ => {
-                // Multi-byte UTF-8 passes through untouched.
-                let start = *i;
-                *i += 1;
-                while *i < bytes.len() && bytes[*i] & 0xC0 == 0x80 {
-                    *i += 1;
-                }
-                out.push_str(std::str::from_utf8(&bytes[start..*i]).ok()?);
-            }
-        }
-    }
-}
-
-fn parse_value(bytes: &[u8], i: &mut usize) -> Option<Field> {
-    match bytes.get(*i)? {
-        b'"' => parse_string(bytes, i).map(Field::Str),
-        b't' => {
-            *i += 4;
-            Some(Field::Bool(true))
-        }
-        b'f' => {
-            *i += 5;
-            Some(Field::Bool(false))
-        }
-        b'n' => {
-            *i += 4;
-            Some(Field::Other)
-        }
-        b'{' | b'[' => {
-            skip_balanced(bytes, i)?;
-            Some(Field::Other)
-        }
-        _ => {
-            let start = *i;
-            while bytes.get(*i).is_some_and(|b| {
-                b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
-            }) {
-                *i += 1;
-            }
-            std::str::from_utf8(&bytes[start..*i])
-                .ok()?
-                .parse()
-                .ok()
-                .map(Field::Num)
-        }
-    }
-}
-
-/// Skims a balanced `{...}` / `[...]` region (string-aware).
-fn skip_balanced(bytes: &[u8], i: &mut usize) -> Option<()> {
-    let mut depth = 0usize;
-    loop {
-        match bytes.get(*i)? {
-            b'{' | b'[' => {
-                depth += 1;
-                *i += 1;
-            }
-            b'}' | b']' => {
-                depth -= 1;
-                *i += 1;
-                if depth == 0 {
-                    return Some(());
-                }
-            }
-            b'"' => {
-                parse_string(bytes, i)?;
-            }
-            _ => *i += 1,
-        }
-    }
-}
-
-fn get<'a>(fields: &'a [(String, Field)], key: &str) -> Option<&'a Field> {
-    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-}
 
 /// The accumulated view of one loop run, rebuilt event by event.
 #[derive(Debug, Default)]
@@ -215,6 +38,11 @@ struct WatchState {
     types_finished: BTreeSet<String>,
     types_converged: BTreeSet<String>,
     phase: String,
+    /// Version and hash of the last `serve.reload` seen, when watching a
+    /// serving daemon.
+    policy: Option<(u64, String)>,
+    /// Number of `serve.reload` events seen.
+    reloads: u64,
     /// Whether the producing run's final snapshot has been seen.
     finished: bool,
 }
@@ -266,6 +94,18 @@ impl WatchState {
                 }
                 true
             }
+            "serve.reload" => {
+                let version = get(&fields, "version")
+                    .and_then(Field::as_f64)
+                    .unwrap_or(0.0) as u64;
+                let hash = get(&fields, "hash")
+                    .and_then(Field::as_str)
+                    .unwrap_or("?")
+                    .to_owned();
+                self.policy = Some((version, hash));
+                self.reloads += 1;
+                true
+            }
             "snapshot" => {
                 self.finished = true;
                 true
@@ -287,6 +127,12 @@ impl WatchState {
             self.types_converged.len(),
             self.types_finished.len(),
         );
+        if let Some((version, hash)) = &self.policy {
+            out.push_str(&format!(
+                " | serving: v{version} ({hash}), {} reloads",
+                self.reloads
+            ));
+        }
         if !self.phase.is_empty() {
             out.push_str(&format!(" | phase: {}", self.phase));
         }
@@ -438,28 +284,56 @@ fn watch_file(
 mod tests {
     use super::*;
 
+    /// The shared `flatjson` parser (adversarially tested in
+    /// `recovery_telemetry::flatjson`) drives the watcher: spot-check
+    /// that the cases the old ad-hoc parser got wrong — escaped quotes
+    /// and nested braces inside strings — now parse correctly here.
     #[test]
-    fn parses_flat_event_lines() {
+    fn parses_flat_event_lines_with_hostile_strings() {
         let fields = parse_event_line(
-            "{\"type\":\"window\",\"window\":2,\"mttr_s\":93.5,\"learned_policy\":true,\"status\":\"trained\"}",
+            "{\"type\":\"window\",\"window\":2,\"mttr_s\":93.5,\"learned_policy\":true,\"status\":\"a\\\"}{\\\"b\"}",
         )
         .expect("valid line");
-        assert_eq!(get(&fields, "type"), Some(&Field::Str("window".into())));
-        assert_eq!(get(&fields, "window"), Some(&Field::Num(2.0)));
-        assert_eq!(get(&fields, "mttr_s"), Some(&Field::Num(93.5)));
-        assert_eq!(get(&fields, "learned_policy"), Some(&Field::Bool(true)));
+        assert_eq!(get(&fields, "type").and_then(Field::as_str), Some("window"));
+        assert_eq!(get(&fields, "window").and_then(Field::as_f64), Some(2.0));
+        assert_eq!(
+            get(&fields, "learned_policy").and_then(Field::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            get(&fields, "status").and_then(Field::as_str),
+            Some("a\"}{\"b"),
+            "escaped quotes and braces inside strings survive"
+        );
         assert!(parse_event_line("not json").is_none());
         assert!(parse_event_line("").is_none());
-    }
-
-    #[test]
-    fn parses_escapes_and_skips_nested_objects() {
-        let fields = parse_event_line(
+        let nested = parse_event_line(
             "{\"type\":\"snapshot\",\"counters\":{\"a\":1,\"b\":{\"c\":[1,2]}},\"note\":\"q\\\"/\\u0041\\n\"}",
         )
         .expect("valid line");
-        assert_eq!(get(&fields, "counters"), Some(&Field::Other));
-        assert_eq!(get(&fields, "note"), Some(&Field::Str("q\"/A\n".into())));
+        assert!(matches!(get(&nested, "counters"), Some(Field::Object)));
+        assert_eq!(
+            get(&nested, "note").and_then(Field::as_str),
+            Some("q\"/A\n")
+        );
+    }
+
+    #[test]
+    fn serve_reload_events_surface_the_served_version() {
+        let mut state = WatchState::default();
+        assert!(state.summary().contains("windows: 0"));
+        assert!(!state.summary().contains("serving:"));
+        assert!(state.apply(
+            "{\"type\":\"serve.reload\",\"version\":1,\"hash\":\"00ff\",\"source\":\"window:0\",\"entries\":12}",
+        ));
+        assert!(state.apply(
+            "{\"type\":\"serve.reload\",\"version\":2,\"hash\":\"abcd\",\"source\":\"window:1\",\"entries\":14}",
+        ));
+        let summary = state.summary();
+        assert!(
+            summary.contains("serving: v2 (abcd), 2 reloads"),
+            "{summary}"
+        );
     }
 
     #[test]

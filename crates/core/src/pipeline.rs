@@ -265,6 +265,48 @@ pub fn run_continuous_loop_full(
     config: &ContinuousLoopConfig,
     telemetry: &Telemetry,
 ) -> LoopRun {
+    run_continuous_loop_published(catalog, config, telemetry, &mut |_| {})
+}
+
+/// Everything the loop knows about a window the moment it completes,
+/// handed to the publication callback of
+/// [`run_continuous_loop_published`]. Borrows stay inside the callback:
+/// a serving plane is expected to copy what it needs into its own
+/// immutable snapshot.
+#[derive(Debug)]
+pub struct WindowPublication<'a> {
+    /// 0-based index of the window that just completed.
+    pub window: usize,
+    /// The window's final status (fallbacks already resolved).
+    pub status: WindowStatus,
+    /// The policy retrained at the end of this window — `Some` only when
+    /// *this* window's retraining step succeeded. On a `FellBack` window
+    /// this is `None` even though the loop still holds an older policy:
+    /// publication is strictly "new snapshot per trained window", so a
+    /// degraded window never republishes (the serving plane keeps
+    /// answering from its last-good snapshot).
+    pub policy: Option<&'a TrainedPolicy>,
+    /// Every recovery process accumulated so far — the corpus the policy
+    /// was retrained on, in deterministic `(start, machine)` order.
+    pub accumulated: &'a [RecoveryProcess],
+}
+
+/// [`run_continuous_loop_full`] with a per-window publication callback,
+/// the seam a policy-serving daemon hooks to hot-swap snapshots: the
+/// callback runs after each window's status, health record, and `window`
+/// event are final, and sees a freshly retrained policy only for
+/// `Trained` windows. The callback is purely additive — outcomes and
+/// events are byte-identical to the unpublished run.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn run_continuous_loop_published(
+    catalog: &FaultCatalog,
+    config: &ContinuousLoopConfig,
+    telemetry: &Telemetry,
+    publish: &mut dyn FnMut(WindowPublication<'_>),
+) -> LoopRun {
     config.validate();
     let health = telemetry.health();
     if let Some(health) = &health {
@@ -342,12 +384,14 @@ pub fn run_continuous_loop_full(
         // from): the last good policy simply stays deployed.
         accumulated.extend(processes);
         accumulated.sort_by_key(|p| (p.start(), p.machine()));
+        let mut retrained_this_window = false;
         if window + 1 < config.windows && status.is_trained() {
             let _span = telemetry.span("retrain");
             match retrain(config, &accumulated, window, telemetry) {
                 Ok((policy, tail)) => {
                     current = Some(policy);
                     q_delta_tail = tail;
+                    retrained_this_window = true;
                 }
                 Err(reason) => status = WindowStatus::FellBack { reason },
             }
@@ -411,6 +455,16 @@ pub fn run_continuous_loop_full(
                     .with("fallbacks", counter("loop.fallbacks")),
             );
         }
+        publish(WindowPublication {
+            window,
+            status,
+            policy: if retrained_this_window {
+                current.as_ref()
+            } else {
+                None
+            },
+            accumulated: &accumulated,
+        });
         outcomes.push(outcome);
     }
     if let Some(health) = &health {

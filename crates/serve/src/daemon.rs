@@ -1,0 +1,546 @@
+//! The serving daemon: thread-per-connection HTTP over a
+//! [`PolicyStore`], with bounded concurrency and typed load shedding.
+//!
+//! Routing, on top of the shared plumbing in `recovery_telemetry::serve`:
+//!
+//! | route              | body                                             |
+//! |--------------------|--------------------------------------------------|
+//! | `POST /advise`     | ranked actions for a symptom state, with version |
+//! | `POST /simulate`   | what-if replay of an action sequence             |
+//! | `GET /policy`      | version / hash / source metadata                 |
+//! | `GET /policy/text` | the canonical `policy_to_text` rendering         |
+//! | `GET /metrics` …   | the four telemetry routes, unchanged             |
+//!
+//! **Shedding contract**: each accepted connection either (a) is shed
+//! *before* any work with a typed `503 {"type":"shed"}` body when
+//! [`ServeConfig::max_inflight`] handlers are already running, or
+//! (b) gets exactly one response from its handler. Both paths increment
+//! `serve.requests`; path (a) increments `serve.shed`, path (b)
+//! increments `serve.served` — so `serve.requests == serve.served +
+//! serve.shed` holds at every quiescent point. Unparsable connections
+//! (garbage bytes, oversized bodies) are dropped without counting:
+//! they never became requests.
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use recovery_core::ActionMultiset;
+use recovery_diagnostics::Json;
+use recovery_simlog::RepairAction;
+use recovery_telemetry::flatjson::{self, Field};
+use recovery_telemetry::serve::{
+    read_request, respond_telemetry, write_response, ACCEPT_POLL, REQUEST_TIMEOUT,
+};
+use recovery_telemetry::{HttpRequest, Telemetry, DURATION_MS_BOUNDS};
+
+use crate::snapshot::PolicySnapshot;
+use crate::store::PolicyStore;
+
+/// Tunables of one [`ServeDaemon`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum concurrently running connection handlers; connections
+    /// beyond this are shed with a typed 503 instead of queueing.
+    pub max_inflight: usize,
+    /// Artificial per-request handler delay, a test-only pacing knob
+    /// that makes shedding reproducible under load. Zero in production.
+    pub handler_delay: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_inflight: 64,
+            handler_delay: Duration::ZERO,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The default config with a different in-flight bound.
+    pub fn with_max_inflight(mut self, max_inflight: usize) -> Self {
+        self.max_inflight = max_inflight;
+        self
+    }
+
+    /// The config with an artificial handler delay (tests only).
+    pub fn with_handler_delay(mut self, delay: Duration) -> Self {
+        self.handler_delay = delay;
+        self
+    }
+}
+
+/// A running policy-serving daemon bound to one local address.
+///
+/// Dropping the daemon signals shutdown and joins the accept thread;
+/// in-flight handlers finish on their own (the long-lived `/events`
+/// stream re-checks the shutdown flag a few times per second).
+#[derive(Debug)]
+pub struct ServeDaemon {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServeDaemon {
+    /// Binds `addr` (port `0` for ephemeral) and starts serving `store`
+    /// and the telemetry views of `telemetry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the address cannot be
+    /// bound.
+    pub fn bind(
+        addr: &str,
+        store: PolicyStore,
+        telemetry: Telemetry,
+        config: ServeConfig,
+    ) -> io::Result<ServeDaemon> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = stop.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("policy-serve".to_string())
+            .spawn(move || accept_loop(listener, store, telemetry, config, accept_stop))?;
+        Ok(ServeDaemon {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The actually bound address (resolves port `0` requests).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the accept loop to stop taking new connections.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Drop for ServeDaemon {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn counter_inc(telemetry: &Telemetry, name: &str) {
+    if let Some(registry) = telemetry.registry() {
+        registry.counter(name).inc();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    store: PolicyStore,
+    telemetry: Telemetry,
+    config: ServeConfig,
+    stop: Arc<AtomicBool>,
+) {
+    let inflight = Arc::new(AtomicUsize::new(0));
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // The shed decision is taken here, before any request
+                // work: claim a slot, and give it back immediately when
+                // the daemon is saturated.
+                if inflight.fetch_add(1, Ordering::SeqCst) >= config.max_inflight {
+                    inflight.fetch_sub(1, Ordering::SeqCst);
+                    counter_inc(&telemetry, "serve.requests");
+                    counter_inc(&telemetry, "serve.shed");
+                    // Answer and linger off the accept thread: the socket
+                    // still holds the client's unread request bytes, and
+                    // closing over them raises a RST that can destroy the
+                    // 503 in flight. Half-close and drain to EOF instead.
+                    let _ = std::thread::Builder::new()
+                        .name("policy-shed".to_string())
+                        .spawn(move || {
+                            let mut stream = stream;
+                            stream.set_nodelay(true).ok();
+                            let _ = write_response(
+                                &mut stream,
+                                "503 Service Unavailable",
+                                "application/json",
+                                &Json::obj()
+                                    .field("type", "shed")
+                                    .field("reason", "overloaded")
+                                    .render(),
+                            );
+                            let _ = stream.shutdown(std::net::Shutdown::Write);
+                            stream.set_read_timeout(Some(REQUEST_TIMEOUT)).ok();
+                            let mut sink = [0u8; 1024];
+                            while matches!(io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0) {
+                            }
+                        });
+                    continue;
+                }
+                let handler_store = store.clone();
+                let handler_telemetry = telemetry.clone();
+                let handler_stop = stop.clone();
+                let handler_inflight = inflight.clone();
+                let delay = config.handler_delay;
+                let spawned = std::thread::Builder::new()
+                    .name("policy-conn".to_string())
+                    .spawn(move || {
+                        let _ = handle_connection(
+                            stream,
+                            &handler_store,
+                            &handler_telemetry,
+                            &handler_stop,
+                            delay,
+                        );
+                        handler_inflight.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    // Spawn failure sheds too: the slot was claimed but
+                    // no handler will run or respond.
+                    inflight.fetch_sub(1, Ordering::SeqCst);
+                    counter_inc(&telemetry, "serve.requests");
+                    counter_inc(&telemetry, "serve.shed");
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    store: &PolicyStore,
+    telemetry: &Telemetry,
+    stop: &AtomicBool,
+    delay: Duration,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(REQUEST_TIMEOUT))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let request = match read_request(&mut reader)? {
+        Some(request) => request,
+        None => return Ok(()),
+    };
+    drop(reader);
+    counter_inc(telemetry, "serve.requests");
+    let started = Instant::now();
+    if !delay.is_zero() {
+        std::thread::sleep(delay);
+    }
+    let result = route(&request, stream, store, telemetry, stop);
+    counter_inc(telemetry, "serve.served");
+    if let Some(registry) = telemetry.registry() {
+        registry
+            .histogram("serve.request.ms", &DURATION_MS_BOUNDS)
+            .record(started.elapsed().as_secs_f64() * 1e3);
+    }
+    result
+}
+
+fn route(
+    request: &HttpRequest,
+    mut stream: TcpStream,
+    store: &PolicyStore,
+    telemetry: &Telemetry,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/advise") => advise(request, &mut stream, store),
+        ("POST", "/simulate") => simulate(request, &mut stream, store),
+        ("GET", "/policy") => policy_meta(&mut stream, store),
+        ("GET", "/policy/text") => policy_text(&mut stream, store),
+        _ => match respond_telemetry(request, stream.try_clone()?, telemetry, stop) {
+            Some(result) => result,
+            None => typed_error(&mut stream, "404 Not Found", "unknown_route", None),
+        },
+    }
+}
+
+/// One typed JSON error response: `{"type":"error","reason":...}` plus
+/// the answering policy version when one is published.
+fn typed_error(
+    stream: &mut TcpStream,
+    status: &str,
+    reason: &str,
+    snapshot: Option<&PolicySnapshot>,
+) -> io::Result<()> {
+    let mut doc = Json::obj().field("type", "error").field("reason", reason);
+    if let Some(snapshot) = snapshot {
+        doc = doc.field("version", snapshot.version());
+    }
+    write_response(stream, status, "application/json", &doc.render())
+}
+
+/// A typed `503 {"type":"unavailable"}` — the daemon is up but cannot
+/// answer this request yet (distinct from overload shedding).
+fn unavailable(stream: &mut TcpStream, reason: &str) -> io::Result<()> {
+    write_response(
+        stream,
+        "503 Service Unavailable",
+        "application/json",
+        &Json::obj()
+            .field("type", "unavailable")
+            .field("reason", reason)
+            .render(),
+    )
+}
+
+fn bad_request(stream: &mut TcpStream) -> io::Result<()> {
+    typed_error(stream, "400 Bad Request", "bad_request", None)
+}
+
+/// Parses an optional JSON list of action tokens (`["REBOOT", ...]`).
+fn parse_actions(field: Option<&Field>) -> Result<Vec<RepairAction>, ()> {
+    match field {
+        None => Ok(Vec::new()),
+        Some(Field::List(items)) => items
+            .iter()
+            .map(|item| {
+                item.as_str()
+                    .ok_or(())
+                    .and_then(|s| RepairAction::from_str(s).map_err(|_| ()))
+            })
+            .collect(),
+        Some(_) => Err(()),
+    }
+}
+
+fn advise(request: &HttpRequest, stream: &mut TcpStream, store: &PolicyStore) -> io::Result<()> {
+    let Some(current) = store.current() else {
+        return unavailable(stream, "no_policy");
+    };
+    let parsed = request
+        .body_text()
+        .and_then(|body| flatjson::parse_line(body.trim()));
+    let Some(fields) = parsed else {
+        return bad_request(stream);
+    };
+    let Some(symptom) = flatjson::get(&fields, "symptom").and_then(Field::as_str) else {
+        return bad_request(stream);
+    };
+    let Ok(tried) = parse_actions(flatjson::get(&fields, "tried")) else {
+        return bad_request(stream);
+    };
+    let tried = ActionMultiset::from_actions(tried);
+    if !current.knows_symptom(symptom) {
+        return typed_error(stream, "404 Not Found", "unknown_symptom", Some(&current));
+    }
+    match current.advice(symptom, tried) {
+        Some(state_json) => {
+            // The `state` subtree is the pre-rendered offline explanation,
+            // spliced in verbatim: byte-identity with `explain_policy` is
+            // structural, not re-derived per request.
+            let body = format!(
+                "{{\"type\":\"advise\",\"version\":{},\"hash\":\"{}\",\"state\":{}}}",
+                current.version(),
+                current.hash(),
+                state_json
+            );
+            write_response(stream, "200 OK", "application/json", &body)
+        }
+        None => typed_error(stream, "404 Not Found", "unadvised_state", Some(&current)),
+    }
+}
+
+fn simulate(request: &HttpRequest, stream: &mut TcpStream, store: &PolicyStore) -> io::Result<()> {
+    let Some(current) = store.current() else {
+        return unavailable(stream, "no_policy");
+    };
+    let parsed = request
+        .body_text()
+        .and_then(|body| flatjson::parse_line(body.trim()));
+    let Some(fields) = parsed else {
+        return bad_request(stream);
+    };
+    let Some(symptom) = flatjson::get(&fields, "symptom").and_then(Field::as_str) else {
+        return bad_request(stream);
+    };
+    let actions = match flatjson::get(&fields, "actions") {
+        Some(field) => match parse_actions(Some(field)) {
+            Ok(actions) if !actions.is_empty() => actions,
+            _ => return bad_request(stream),
+        },
+        None => return bad_request(stream),
+    };
+    let Some(plane) = current.replay() else {
+        return unavailable(stream, "replay_unavailable");
+    };
+    if !current.knows_symptom(symptom) {
+        return typed_error(stream, "404 Not Found", "unknown_symptom", Some(&current));
+    }
+    let Some(run) = plane.simulate(symptom, &actions) else {
+        return typed_error(
+            stream,
+            "404 Not Found",
+            "unsimulated_symptom",
+            Some(&current),
+        );
+    };
+    let doc = Json::obj()
+        .field("type", "simulate")
+        .field("version", current.version())
+        .field("hash", current.hash())
+        .field("symptom", symptom)
+        .field("detection_lead_s", run.detection_lead_s)
+        .field(
+            "steps",
+            Json::Arr(
+                run.steps
+                    .iter()
+                    .map(|s| {
+                        Json::obj()
+                            .field("action", s.action.as_str())
+                            .field("cured", s.cured)
+                            .field("cost_s", s.cost_s)
+                    })
+                    .collect(),
+            ),
+        )
+        .field("cured", run.cured)
+        .field("total_cost_s", run.total_cost_s);
+    write_response(stream, "200 OK", "application/json", &doc.render())
+}
+
+fn policy_meta(stream: &mut TcpStream, store: &PolicyStore) -> io::Result<()> {
+    let Some(current) = store.current() else {
+        return unavailable(stream, "no_policy");
+    };
+    let doc = Json::obj()
+        .field("type", "policy")
+        .field("version", current.version())
+        .field("hash", current.hash())
+        .field("source", current.source())
+        .field("entries", current.entries())
+        .field("advised_states", current.advised_states())
+        .field("replay", current.replay().is_some());
+    write_response(stream, "200 OK", "application/json", &doc.render())
+}
+
+fn policy_text(stream: &mut TcpStream, store: &PolicyStore) -> io::Result<()> {
+    let Some(current) = store.current() else {
+        return unavailable(stream, "no_policy");
+    };
+    write_response(
+        stream,
+        "200 OK",
+        "text/plain; charset=utf-8",
+        current.text(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recovery_telemetry::EventBus;
+    use std::io::{Read, Write};
+
+    fn http(addr: SocketAddr, request: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(request.as_bytes()).unwrap();
+        stream.flush().unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header block");
+        (head.to_string(), body.to_string())
+    }
+
+    fn post(addr: SocketAddr, path: &str, body: &str) -> (String, String) {
+        http(
+            addr,
+            &format!(
+                "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        )
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        http(addr, &format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n"))
+    }
+
+    #[test]
+    fn empty_store_sheds_with_no_policy() {
+        let telemetry = Telemetry::with_parts(None, Some(EventBus::default()));
+        let daemon = ServeDaemon::bind(
+            "127.0.0.1:0",
+            PolicyStore::new(),
+            telemetry.clone(),
+            ServeConfig::default(),
+        )
+        .expect("bind");
+        let (head, body) = post(daemon.local_addr(), "/advise", "{\"symptom\":\"x\"}");
+        assert!(head.starts_with("HTTP/1.1 503"), "{head}");
+        assert_eq!(body, "{\"type\":\"unavailable\",\"reason\":\"no_policy\"}");
+        let (head, _) = get(daemon.local_addr(), "/policy");
+        assert!(head.starts_with("HTTP/1.1 503"), "{head}");
+        // The telemetry routes still answer beside the policy routes.
+        let (head, _) = get(daemon.local_addr(), "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        let (head, body) = get(daemon.local_addr(), "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        assert!(body.contains("unknown_route"), "{body}");
+        let registry = telemetry.registry().unwrap();
+        assert_eq!(registry.counter("serve.requests").get(), 4);
+        assert_eq!(registry.counter("serve.served").get(), 4);
+        assert_eq!(registry.counter("serve.shed").get(), 0);
+    }
+
+    #[test]
+    fn malformed_bodies_get_typed_400s_and_are_still_counted() {
+        let telemetry = Telemetry::with_parts(None, Some(EventBus::default()));
+        let mut symptoms = recovery_simlog::SymptomCatalog::default();
+        symptoms.intern("error:X");
+        let store = PolicyStore::new();
+        store.publish(PolicySnapshot::build(
+            &recovery_core::TrainedPolicy::default(),
+            &symptoms,
+            "test",
+            None,
+        ));
+        let daemon = ServeDaemon::bind(
+            "127.0.0.1:0",
+            store,
+            telemetry.clone(),
+            ServeConfig::default(),
+        )
+        .expect("bind");
+        for body in ["", "not json", "{\"tried\":[]}", "{\"symptom\":3}"] {
+            let (head, response) = post(daemon.local_addr(), "/advise", body);
+            assert!(head.starts_with("HTTP/1.1 400"), "{body:?}: {head}");
+            assert!(response.contains("bad_request"), "{response}");
+        }
+        // Unknown symptom and unadvised state are typed 404s that name
+        // the answering version.
+        let (head, response) = post(daemon.local_addr(), "/advise", "{\"symptom\":\"nope\"}");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        assert!(response.contains("unknown_symptom"), "{response}");
+        assert!(response.contains("\"version\":1"), "{response}");
+        let (head, response) = post(daemon.local_addr(), "/advise", "{\"symptom\":\"error:X\"}");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        assert!(response.contains("unadvised_state"), "{response}");
+        let (head, response) = post(
+            daemon.local_addr(),
+            "/simulate",
+            "{\"symptom\":\"error:X\",\"actions\":[\"REBOOT\"]}",
+        );
+        assert!(head.starts_with("HTTP/1.1 503"), "{head}");
+        assert!(response.contains("replay_unavailable"), "{response}");
+        let registry = telemetry.registry().unwrap();
+        assert_eq!(
+            registry.counter("serve.requests").get(),
+            registry.counter("serve.served").get() + registry.counter("serve.shed").get()
+        );
+    }
+}

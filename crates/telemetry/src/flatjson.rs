@@ -1,0 +1,493 @@
+//! A hardened parser for one flat JSON object line, as produced by the
+//! telemetry [`Event`](crate::Event) writer and consumed by the `watch`
+//! subcommand and the `recovery-serve` request handlers.
+//!
+//! The supported shape is one object per line whose values are scalars
+//! or arrays of scalars; nested objects (the final `snapshot` line's
+//! counter maps) are balanced-skipped and reported as [`Field::Object`].
+//! Unlike the hand-rolled predecessor that lived inside `watch`, this
+//! parser:
+//!
+//! * verifies `true`/`false`/`null` literals byte-for-byte instead of
+//!   blindly skipping their length;
+//! * decodes `\uXXXX` escapes including UTF-16 surrogate *pairs* (and
+//!   rejects unpaired surrogates) — the event writer never emits them,
+//!   but third-party producers of the same NDJSON shape do;
+//! * validates numbers against the JSON grammar instead of feeding any
+//!   run of `[0-9eE+-.]` to `f64::parse`;
+//! * requires commas between members and matches bracket *kinds* when
+//!   skipping nested structures, with a hard depth cap, so corrupt or
+//!   adversarial lines are rejected instead of silently mis-read.
+//!
+//! Any malformed line yields `None` — the consumer's contract is to skip
+//! it, never to act on a half-parsed record.
+
+/// Maximum nesting depth accepted inside skipped objects and parsed
+/// arrays. Telemetry lines nest two levels; 64 is a safety margin that
+/// still bounds stack use on adversarial input.
+const MAX_DEPTH: usize = 64;
+
+/// One parsed value from a flat JSON object line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// A JSON string, unescaped.
+    Str(String),
+    /// A JSON number.
+    Num(f64),
+    /// `true` or `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// An array of parsed values.
+    List(Vec<Field>),
+    /// A nested object, skimmed over without interpretation.
+    Object,
+}
+
+impl Field {
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Field::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Field::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Field::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object line into its `(key, value)` members, in
+/// document order. Returns `None` for anything that is not a single
+/// well-formed JSON object (trailing garbage included).
+pub fn parse_line(line: &str) -> Option<Vec<(String, Field)>> {
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    let mut fields = Vec::new();
+    skip_ws(bytes, &mut i);
+    if bytes.get(i) != Some(&b'{') {
+        return None;
+    }
+    i += 1;
+    skip_ws(bytes, &mut i);
+    if bytes.get(i) == Some(&b'}') {
+        i += 1;
+    } else {
+        loop {
+            skip_ws(bytes, &mut i);
+            let key = parse_string(bytes, &mut i)?;
+            skip_ws(bytes, &mut i);
+            if bytes.get(i) != Some(&b':') {
+                return None;
+            }
+            i += 1;
+            skip_ws(bytes, &mut i);
+            let value = parse_value(bytes, &mut i, 0)?;
+            fields.push((key, value));
+            skip_ws(bytes, &mut i);
+            match bytes.get(i)? {
+                b',' => i += 1,
+                b'}' => {
+                    i += 1;
+                    break;
+                }
+                _ => return None,
+            }
+        }
+    }
+    skip_ws(bytes, &mut i);
+    (i == bytes.len()).then_some(fields)
+}
+
+/// Finds the first member named `key` (duplicate keys resolve to the
+/// first occurrence, matching the event writer which never duplicates).
+pub fn get<'a>(fields: &'a [(String, Field)], key: &str) -> Option<&'a Field> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn skip_ws(bytes: &[u8], i: &mut usize) {
+    while bytes.get(*i).is_some_and(u8::is_ascii_whitespace) {
+        *i += 1;
+    }
+}
+
+/// Consumes the exact byte sequence `literal` at `bytes[*i]`.
+fn expect_literal(bytes: &[u8], i: &mut usize, literal: &[u8]) -> Option<()> {
+    if bytes.get(*i..*i + literal.len()) == Some(literal) {
+        *i += literal.len();
+        Some(())
+    } else {
+        None
+    }
+}
+
+/// Parses one `\uXXXX` hex quad at `bytes[*i]` (positioned on the first
+/// hex digit), advancing past it.
+fn parse_hex_quad(bytes: &[u8], i: &mut usize) -> Option<u32> {
+    let hex = bytes.get(*i..*i + 4)?;
+    let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+    *i += 4;
+    Some(code)
+}
+
+/// Parses a `"..."` string starting at `bytes[*i]`, decoding the full
+/// JSON escape set including surrogate pairs.
+fn parse_string(bytes: &[u8], i: &mut usize) -> Option<String> {
+    if bytes.get(*i) != Some(&b'"') {
+        return None;
+    }
+    *i += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*i)? {
+            b'"' => {
+                *i += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *i += 1;
+                match bytes.get(*i)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        *i += 1;
+                        let code = parse_hex_quad(bytes, i)?;
+                        let ch = match code {
+                            // High surrogate: a low surrogate escape must
+                            // follow; the pair combines to one scalar.
+                            0xD800..=0xDBFF => {
+                                expect_literal(bytes, i, b"\\u")?;
+                                let low = parse_hex_quad(bytes, i)?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return None;
+                                }
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)?
+                            }
+                            // A lone low surrogate is not a scalar value.
+                            0xDC00..=0xDFFF => return None,
+                            _ => char::from_u32(code)?,
+                        };
+                        out.push(ch);
+                        // Compensate for the unconditional advance below:
+                        // the quad parser already consumed its digits.
+                        *i -= 1;
+                    }
+                    _ => return None,
+                }
+                *i += 1;
+            }
+            _ => {
+                // Multi-byte UTF-8 passes through untouched.
+                let start = *i;
+                *i += 1;
+                while *i < bytes.len() && bytes[*i] & 0xC0 == 0x80 {
+                    *i += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*i]).ok()?);
+            }
+        }
+    }
+}
+
+/// Whether `s` is exactly one JSON number.
+fn is_json_number(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    if b.get(i) == Some(&b'-') {
+        i += 1;
+    }
+    let int_start = i;
+    while b.get(i).is_some_and(u8::is_ascii_digit) {
+        i += 1;
+    }
+    if i == int_start {
+        return false;
+    }
+    // JSON forbids leading zeros like 012; the event writer never emits
+    // them, and accepting them would mask corruption.
+    if i - int_start > 1 && b[int_start] == b'0' {
+        return false;
+    }
+    if b.get(i) == Some(&b'.') {
+        i += 1;
+        let frac_start = i;
+        while b.get(i).is_some_and(u8::is_ascii_digit) {
+            i += 1;
+        }
+        if i == frac_start {
+            return false;
+        }
+    }
+    if matches!(b.get(i), Some(b'e' | b'E')) {
+        i += 1;
+        if matches!(b.get(i), Some(b'+' | b'-')) {
+            i += 1;
+        }
+        let exp_start = i;
+        while b.get(i).is_some_and(u8::is_ascii_digit) {
+            i += 1;
+        }
+        if i == exp_start {
+            return false;
+        }
+    }
+    i == b.len()
+}
+
+fn parse_value(bytes: &[u8], i: &mut usize, depth: usize) -> Option<Field> {
+    if depth > MAX_DEPTH {
+        return None;
+    }
+    match bytes.get(*i)? {
+        b'"' => parse_string(bytes, i).map(Field::Str),
+        b't' => expect_literal(bytes, i, b"true").map(|()| Field::Bool(true)),
+        b'f' => expect_literal(bytes, i, b"false").map(|()| Field::Bool(false)),
+        b'n' => expect_literal(bytes, i, b"null").map(|()| Field::Null),
+        b'{' => {
+            skip_balanced(bytes, i)?;
+            Some(Field::Object)
+        }
+        b'[' => {
+            *i += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, i);
+            if bytes.get(*i) == Some(&b']') {
+                *i += 1;
+                return Some(Field::List(items));
+            }
+            loop {
+                skip_ws(bytes, i);
+                items.push(parse_value(bytes, i, depth + 1)?);
+                skip_ws(bytes, i);
+                match bytes.get(*i)? {
+                    b',' => *i += 1,
+                    b']' => {
+                        *i += 1;
+                        return Some(Field::List(items));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        _ => {
+            let start = *i;
+            while bytes.get(*i).is_some_and(|b| {
+                b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+            }) {
+                *i += 1;
+            }
+            let token = std::str::from_utf8(&bytes[start..*i]).ok()?;
+            if !is_json_number(token) {
+                return None;
+            }
+            token.parse().ok().map(Field::Num)
+        }
+    }
+}
+
+/// Skims a balanced `{...}` region (string-aware, bracket kinds matched,
+/// depth-capped). `bytes[*i]` must be the opening `{`.
+fn skip_balanced(bytes: &[u8], i: &mut usize) -> Option<()> {
+    let mut stack = Vec::new();
+    loop {
+        match bytes.get(*i)? {
+            open @ (b'{' | b'[') => {
+                if stack.len() >= MAX_DEPTH {
+                    return None;
+                }
+                stack.push(*open);
+                *i += 1;
+            }
+            close @ (b'}' | b']') => {
+                let open = stack.pop()?;
+                let matched = (open == b'{' && *close == b'}') || (open == b'[' && *close == b']');
+                if !matched {
+                    return None;
+                }
+                *i += 1;
+                if stack.is_empty() {
+                    return Some(());
+                }
+            }
+            b'"' => {
+                parse_string(bytes, i)?;
+            }
+            _ => *i += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_event_lines() {
+        let fields = parse_line(
+            "{\"type\":\"window\",\"window\":2,\"mttr_s\":93.5,\"learned_policy\":true,\"status\":\"trained\"}",
+        )
+        .expect("valid line");
+        assert_eq!(get(&fields, "type"), Some(&Field::Str("window".into())));
+        assert_eq!(get(&fields, "window"), Some(&Field::Num(2.0)));
+        assert_eq!(get(&fields, "mttr_s"), Some(&Field::Num(93.5)));
+        assert_eq!(get(&fields, "learned_policy"), Some(&Field::Bool(true)));
+        assert_eq!(get(&fields, "missing"), None);
+        assert!(parse_line("not json").is_none());
+        assert!(parse_line("").is_none());
+        assert_eq!(parse_line("{}"), Some(vec![]));
+    }
+
+    #[test]
+    fn parses_escapes_and_skips_nested_objects() {
+        let fields = parse_line(
+            "{\"type\":\"snapshot\",\"counters\":{\"a\":1,\"b\":{\"c\":[1,2]}},\"note\":\"q\\\"/\\u0041\\n\"}",
+        )
+        .expect("valid line");
+        assert_eq!(get(&fields, "counters"), Some(&Field::Object));
+        assert_eq!(get(&fields, "note"), Some(&Field::Str("q\"/A\n".into())));
+    }
+
+    #[test]
+    fn parses_arrays_of_scalars() {
+        let fields =
+            parse_line("{\"actions\":[\"REBOOT\",\"RMA\"],\"costs\":[1.5,2],\"empty\":[]}")
+                .expect("valid line");
+        assert_eq!(
+            get(&fields, "actions"),
+            Some(&Field::List(vec![
+                Field::Str("REBOOT".into()),
+                Field::Str("RMA".into())
+            ]))
+        );
+        assert_eq!(
+            get(&fields, "costs"),
+            Some(&Field::List(vec![Field::Num(1.5), Field::Num(2.0)]))
+        );
+        assert_eq!(get(&fields, "empty"), Some(&Field::List(vec![])));
+    }
+
+    #[test]
+    fn escaped_quotes_and_braces_inside_strings_do_not_confuse_skipping() {
+        // The skipped object's strings contain every character that used
+        // to derail the depth counter: escaped quotes, braces, brackets.
+        let fields = parse_line(
+            "{\"blob\":{\"k\":\"a\\\"}b\",\"l\":\"[{\",\"m\":{\"n\":\"\\\\\"}},\"after\":7}",
+        )
+        .expect("valid line");
+        assert_eq!(get(&fields, "blob"), Some(&Field::Object));
+        assert_eq!(get(&fields, "after"), Some(&Field::Num(7.0)));
+        // Escaped quote in a *key* and as the last character of a value.
+        let fields = parse_line("{\"a\\\"b\":\"c\\\\\",\"d\":1}").expect("valid line");
+        assert_eq!(fields[0].0, "a\"b");
+        assert_eq!(fields[0].1, Field::Str("c\\".into()));
+    }
+
+    #[test]
+    fn literals_are_verified_not_length_skipped() {
+        // The old parser skipped 4/5/4 bytes blindly; these must all be
+        // rejected, not silently mis-parsed.
+        assert!(parse_line("{\"a\":tru}").is_none());
+        assert!(parse_line("{\"a\":truu,\"b\":1}").is_none());
+        assert!(parse_line("{\"a\":fals}").is_none());
+        assert!(parse_line("{\"a\":nul,\"b\":2}").is_none());
+        assert!(parse_line("{\"a\":nullx}").is_none());
+        assert_eq!(
+            parse_line("{\"a\":null}"),
+            Some(vec![("a".into(), Field::Null)])
+        );
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_and_lone_surrogates_reject() {
+        let fields = parse_line("{\"emoji\":\"\\ud83d\\ude00!\"}").expect("valid pair");
+        assert_eq!(
+            get(&fields, "emoji"),
+            Some(&Field::Str("\u{1F600}!".into()))
+        );
+        // Lone high, lone low, and high followed by a non-surrogate.
+        assert!(parse_line("{\"a\":\"\\ud83d\"}").is_none());
+        assert!(parse_line("{\"a\":\"\\ude00\"}").is_none());
+        assert!(parse_line("{\"a\":\"\\ud83d\\u0041\"}").is_none());
+        // Raw multi-byte UTF-8 still passes through untouched.
+        let fields = parse_line("{\"raw\":\"héllo→\"}").expect("valid line");
+        assert_eq!(get(&fields, "raw"), Some(&Field::Str("héllo→".into())));
+    }
+
+    #[test]
+    fn malformed_numbers_are_rejected() {
+        for bad in [
+            "{\"n\":1.2.3}",
+            "{\"n\":12e}",
+            "{\"n\":+5}",
+            "{\"n\":-}",
+            "{\"n\":.5}",
+            "{\"n\":5.}",
+            "{\"n\":1e+}",
+            "{\"n\":01}",
+            "{\"n\":--1}",
+        ] {
+            assert!(parse_line(bad).is_none(), "{bad} must be rejected");
+        }
+        let fields = parse_line("{\"n\":-1.5e-3,\"m\":0,\"o\":1E6}").expect("valid numbers");
+        assert_eq!(get(&fields, "n"), Some(&Field::Num(-1.5e-3)));
+        assert_eq!(get(&fields, "m"), Some(&Field::Num(0.0)));
+        assert_eq!(get(&fields, "o"), Some(&Field::Num(1e6)));
+    }
+
+    #[test]
+    fn structural_corruption_is_rejected() {
+        // Missing comma, trailing garbage, mismatched bracket kinds,
+        // truncated nesting, unterminated strings.
+        assert!(parse_line("{\"a\":1\"b\":2}").is_none());
+        assert!(parse_line("{\"a\":1}extra").is_none());
+        assert!(parse_line("{\"a\":1},").is_none());
+        assert!(parse_line("{\"a\":{\"b\":[1}}").is_none());
+        assert!(parse_line("{\"a\":[1,2}").is_none());
+        assert!(parse_line("{\"a\":{\"b\":1}").is_none());
+        assert!(parse_line("{\"a\":\"unterminated}").is_none());
+        assert!(parse_line("{\"a\":}").is_none());
+        assert!(parse_line("{\"a\"1}").is_none());
+        assert!(parse_line("{1:2}").is_none());
+    }
+
+    #[test]
+    fn depth_bombs_are_bounded() {
+        let deep_obj = format!("{{\"a\":{}1{}}}", "{\"b\":".repeat(100), "}".repeat(100));
+        assert!(parse_line(&deep_obj).is_none());
+        let deep_arr = format!("{{\"a\":{}1{}}}", "[".repeat(100), "]".repeat(100));
+        assert!(parse_line(&deep_arr).is_none());
+        // Shallow nesting still parses.
+        let ok = "{\"a\":[[1,2],[3]]}";
+        assert!(parse_line(ok).is_some());
+    }
+
+    #[test]
+    fn whitespace_is_tolerated_where_json_allows_it() {
+        let fields = parse_line("  { \"a\" : 1 , \"b\" : [ true , null ] }  ").expect("valid");
+        assert_eq!(get(&fields, "a"), Some(&Field::Num(1.0)));
+        assert_eq!(
+            get(&fields, "b"),
+            Some(&Field::List(vec![Field::Bool(true), Field::Null]))
+        );
+    }
+}

@@ -34,6 +34,10 @@ pub struct HealthSnapshot {
     pub last_fallback_reason: Option<String>,
     /// Cumulative fallback count across the loop so far.
     pub fallbacks: u64,
+    /// Monotonic version of the last-good *published* policy snapshot,
+    /// when a policy-serving plane is attached. During a `FellBack`
+    /// window this keeps naming the snapshot that is still being served.
+    pub policy_version: Option<u64>,
 }
 
 impl Default for HealthSnapshot {
@@ -45,6 +49,7 @@ impl Default for HealthSnapshot {
             last_status: None,
             last_fallback_reason: None,
             fallbacks: 0,
+            policy_version: None,
         }
     }
 }
@@ -75,7 +80,11 @@ impl HealthSnapshot {
                 None => Value::Str(String::new()),
             },
         );
-        event.with("fallbacks", self.fallbacks).to_json()
+        event = event.with("fallbacks", self.fallbacks);
+        if let Some(version) = self.policy_version {
+            event = event.with("policy_version", version);
+        }
+        event.to_json()
     }
 }
 
@@ -94,14 +103,25 @@ impl HealthState {
     }
 
     /// Marks the start of a continuous loop over `windows_total` windows
-    /// and resets the per-loop fields.
+    /// and resets the per-loop fields. The published-policy version
+    /// survives: a daemon that preloaded a policy file keeps serving it
+    /// (and reporting it) while a fresh loop warms up.
     pub fn begin_loop(&self, windows_total: u64) {
         if let Ok(mut inner) = self.inner.lock() {
             *inner = HealthSnapshot {
                 phase: "running".to_string(),
                 windows_total,
+                policy_version: inner.policy_version,
                 ..HealthSnapshot::default()
             };
+        }
+    }
+
+    /// Records the version of the policy snapshot currently published by
+    /// an attached serving plane (kept across [`HealthState::begin_loop`]).
+    pub fn set_policy_version(&self, version: u64) {
+        if let Ok(mut inner) = self.inner.lock() {
+            inner.policy_version = Some(version);
         }
     }
 
@@ -177,5 +197,30 @@ mod tests {
         assert_eq!(snap.windows_total, 3);
         assert_eq!(snap.last_window, None);
         assert_eq!(snap.fallbacks, 0);
+    }
+
+    #[test]
+    fn policy_version_is_reported_and_survives_begin_loop() {
+        let health = HealthState::new();
+        assert_eq!(health.snapshot().policy_version, None);
+        assert!(!health.snapshot().to_json().contains("policy_version"));
+        health.set_policy_version(3);
+        assert_eq!(health.snapshot().policy_version, Some(3));
+        assert!(health.snapshot().to_json().contains("\"policy_version\":3"));
+        // A fresh loop resets windows but keeps naming the snapshot the
+        // serving plane still answers from.
+        health.begin_loop(5);
+        let snap = health.snapshot();
+        assert_eq!(snap.last_window, None);
+        assert_eq!(snap.policy_version, Some(3));
+        // A fallback window degrades health but the last-good version
+        // stays visible next to the reason.
+        health.record_window(0, "training_panicked", Some("training_panicked"));
+        health.set_policy_version(3);
+        let snap = health.snapshot();
+        assert!(!snap.is_ok());
+        let json = snap.to_json();
+        assert!(json.contains("\"last_fallback_reason\":\"training_panicked\""));
+        assert!(json.contains("\"policy_version\":3"), "{json}");
     }
 }

@@ -48,11 +48,12 @@
 
 mod bus;
 mod event;
+pub mod flatjson;
 mod health;
 mod metrics;
 mod observer;
 mod prometheus;
-mod serve;
+pub mod serve;
 
 pub use bus::{EventBus, PublishOutcome, Subscription, DEFAULT_SUBSCRIBER_CAPACITY};
 pub use event::{snapshot_to_json, Event, JsonlSink, Value};
@@ -63,7 +64,7 @@ pub use metrics::{
 };
 pub use observer::{NoopObserver, ObserverHandle, TrainingObserver};
 pub use prometheus::{render_prometheus, render_prometheus_namespaced, NAMESPACE};
-pub use serve::MetricsServer;
+pub use serve::{HttpRequest, MetricsServer};
 
 use std::sync::{Arc, Mutex};
 use std::time::Instant;

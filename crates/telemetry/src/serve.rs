@@ -18,8 +18,13 @@
 //! (drop, never block) already guarantees a stuck scraper cannot perturb
 //! training. Byte-identity of trained policies with the server on or off
 //! is enforced by `tests/observe.rs`.
+//!
+//! The request/response plumbing ([`HttpRequest`], [`read_request`],
+//! [`write_response`], [`respond_telemetry`]) is shared with the
+//! `recovery-serve` policy daemon, which mounts the same four telemetry
+//! routes beside its own `/advise`, `/simulate`, and `/policy` handlers.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -32,14 +37,41 @@ use crate::Telemetry;
 
 /// How long the accept loop sleeps between polls of the non-blocking
 /// listener (also bounds shutdown latency).
-const ACCEPT_POLL: Duration = Duration::from_millis(25);
+pub const ACCEPT_POLL: Duration = Duration::from_millis(25);
 
 /// Read timeout for one incoming request head.
-const REQUEST_TIMEOUT: Duration = Duration::from_secs(5);
+pub const REQUEST_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// How long an `/events` stream waits for the next bus line before
 /// re-checking the shutdown flag.
 const EVENT_POLL: Duration = Duration::from_millis(200);
+
+/// Maximum accepted header block size, bytes.
+const MAX_HEADER_BYTES: usize = 8 * 1024;
+
+/// Maximum accepted request body size, bytes. Requests above this are
+/// dropped rather than buffered (the policy daemon's `/advise` and
+/// `/simulate` bodies are a few hundred bytes at most).
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// One parsed HTTP request: the method, the path (query stripped), and
+/// the raw body bytes (empty unless a `Content-Length` was sent).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Upper-cased request method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path with any `?query` stripped.
+    pub path: String,
+    /// Raw request body (bounded by [`MAX_BODY_BYTES`]).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// The body as UTF-8 text, if valid.
+    pub fn body_text(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
 
 /// A running exposition server bound to one local address.
 ///
@@ -128,41 +160,18 @@ fn handle_connection(
     stream.set_read_timeout(Some(REQUEST_TIMEOUT))?;
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
-    let path = match read_request_path(&mut reader)? {
-        Some(path) => path,
+    let request = match read_request(&mut reader)? {
+        Some(request) => request,
         None => return Ok(()),
     };
+    // The metrics server is strictly read-only: non-GET is dropped.
+    if request.method != "GET" {
+        return Ok(());
+    }
     let mut stream = stream;
-    match path.as_str() {
-        "/metrics" => {
-            let body = telemetry
-                .snapshot()
-                .map(|snap| render_prometheus(&snap))
-                .unwrap_or_default();
-            write_response(
-                &mut stream,
-                "200 OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                &body,
-            )
-        }
-        "/snapshot" => {
-            let body = telemetry
-                .snapshot()
-                .map(|snap| snapshot_to_json(&snap))
-                .unwrap_or_else(|| "{\"type\":\"snapshot\"}".to_string());
-            write_response(&mut stream, "200 OK", "application/json", &body)
-        }
-        "/healthz" => {
-            let body = telemetry
-                .health()
-                .map(|h| h.snapshot())
-                .unwrap_or_default()
-                .to_json();
-            write_response(&mut stream, "200 OK", "application/json", &body)
-        }
-        "/events" => stream_events(stream, telemetry, stop),
-        _ => write_response(
+    match respond_telemetry(&request, stream.try_clone()?, telemetry, stop) {
+        Some(result) => result,
+        None => write_response(
             &mut stream,
             "404 Not Found",
             "text/plain; charset=utf-8",
@@ -171,22 +180,90 @@ fn handle_connection(
     }
 }
 
-/// Reads the request head and returns the path of a `GET` request
-/// (query strings stripped), or `None` for anything unparsable.
-fn read_request_path(reader: &mut BufReader<TcpStream>) -> io::Result<Option<String>> {
+/// Serves the shared telemetry routes (`GET /metrics`, `/snapshot`,
+/// `/healthz`, `/events`) for `request`, or returns `None` when the
+/// request doesn't match one — the caller then applies its own routing.
+/// `stop` lets long-lived `/events` streams notice server shutdown.
+pub fn respond_telemetry(
+    request: &HttpRequest,
+    stream: TcpStream,
+    telemetry: &Telemetry,
+    stop: &AtomicBool,
+) -> Option<io::Result<()>> {
+    if request.method != "GET" {
+        return None;
+    }
+    let mut stream = stream;
+    match request.path.as_str() {
+        "/metrics" => {
+            let body = telemetry
+                .snapshot()
+                .map(|snap| render_prometheus(&snap))
+                .unwrap_or_default();
+            Some(write_response(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            ))
+        }
+        "/snapshot" => {
+            let body = telemetry
+                .snapshot()
+                .map(|snap| snapshot_to_json(&snap))
+                .unwrap_or_else(|| "{\"type\":\"snapshot\"}".to_string());
+            Some(write_response(
+                &mut stream,
+                "200 OK",
+                "application/json",
+                &body,
+            ))
+        }
+        "/healthz" => {
+            let body = telemetry
+                .health()
+                .map(|h| h.snapshot())
+                .unwrap_or_default()
+                .to_json();
+            Some(write_response(
+                &mut stream,
+                "200 OK",
+                "application/json",
+                &body,
+            ))
+        }
+        "/events" => Some(stream_events(stream, telemetry, stop)),
+        _ => None,
+    }
+}
+
+/// Reads one request — request line, headers, and a `Content-Length`
+/// body — and returns it, or `None` for anything unparsable or
+/// over-sized. The header block is bounded by [`MAX_HEADER_BYTES`] and
+/// the body by [`MAX_BODY_BYTES`].
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<HttpRequest>> {
     let mut request_line = String::new();
     if reader.read_line(&mut request_line)? == 0 {
         return Ok(None);
     }
     // Drain the header block so the client never sees a reset while the
-    // request is still in flight (bounded: 8 KiB of headers).
+    // request is still in flight, scanning for Content-Length.
     let mut drained = 0usize;
+    let mut content_length = 0usize;
     loop {
         let mut header = String::new();
         let n = reader.read_line(&mut header)?;
         drained += n;
-        if n == 0 || header == "\r\n" || header == "\n" || drained > 8192 {
+        if n == 0 || header == "\r\n" || header == "\n" || drained > MAX_HEADER_BYTES {
             break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = match value.trim().parse::<usize>() {
+                    Ok(n) if n <= MAX_BODY_BYTES => n,
+                    _ => return Ok(None),
+                };
+            }
         }
     }
     let mut parts = request_line.split_whitespace();
@@ -194,14 +271,25 @@ fn read_request_path(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Str
         (Some(m), Some(t)) => (m, t),
         _ => return Ok(None),
     };
-    if !method.eq_ignore_ascii_case("GET") {
+    let path = target.split('?').next().unwrap_or(target);
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 && reader.read_exact(&mut body).is_err() {
         return Ok(None);
     }
-    let path = target.split('?').next().unwrap_or(target);
-    Ok(Some(path.to_string()))
+    Ok(Some(HttpRequest {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        body,
+    }))
 }
 
-fn write_response(
+/// Writes one `Connection: close` HTTP response.
+///
+/// # Errors
+///
+/// Propagates the underlying socket write error (callers treat a failed
+/// write as a disconnected client).
+pub fn write_response(
     stream: &mut TcpStream,
     status: &str,
     content_type: &str,
@@ -263,7 +351,6 @@ fn stream_events(
 mod tests {
     use super::*;
     use crate::{EventBus, JsonlSink};
-    use std::io::Read;
 
     /// Blocking one-shot HTTP GET against the test server.
     fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
@@ -332,6 +419,59 @@ mod tests {
         let mut out = String::new();
         stream.read_to_string(&mut out).unwrap();
         assert!(out.is_empty(), "non-GET must be dropped, got {out:?}");
+    }
+
+    #[test]
+    fn read_request_parses_method_path_and_body() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            write!(
+                stream,
+                "POST /advise?x=1 HTTP/1.1\r\nHost: test\r\nContent-Length: 9\r\n\r\n{{\"a\":\"b\"}}"
+            )
+            .unwrap();
+            stream.flush().unwrap();
+            // Keep the socket open until the server side has read.
+            let mut buf = [0u8; 1];
+            let _ = stream.read(&mut buf);
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let request = read_request(&mut reader).unwrap().expect("parsable");
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/advise", "query must be stripped");
+        assert_eq!(request.body_text(), Some("{\"a\":\"b\"}"));
+        // The reader holds a clone of the socket; both halves must drop
+        // before the client sees EOF.
+        drop(reader);
+        drop(stream);
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn read_request_rejects_oversized_bodies() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            write!(
+                stream,
+                "POST /advise HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY_BYTES + 1
+            )
+            .unwrap();
+            stream.flush().unwrap();
+            let mut buf = [0u8; 1];
+            let _ = stream.read(&mut buf);
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        assert_eq!(read_request(&mut reader).unwrap(), None);
+        drop(reader);
+        drop(stream);
+        client.join().unwrap();
     }
 
     #[test]

@@ -308,3 +308,44 @@ fn events_endpoint_streams_window_summaries_live() {
         "finish() publishes the final snapshot to the bus: {lines:?}"
     );
 }
+
+/// The published-policy version a serving plane records via
+/// `HealthState::set_policy_version` must survive `begin_loop` and keep
+/// naming the last-good policy while a window falls back — that is what
+/// lets an operator pair a degraded `/healthz` with the snapshot still
+/// being served — and must advance in place when a later publish
+/// recovers.
+#[test]
+fn healthz_keeps_last_good_policy_version_through_degraded_windows() {
+    let catalog = small_catalog();
+    let telemetry = Telemetry::with_parts(None, Some(EventBus::default()));
+    let server = MetricsServer::bind("127.0.0.1:0", telemetry.clone()).expect("bind");
+    let health = telemetry.health().expect("enabled");
+
+    // Before anything was published the field is absent entirely.
+    let (_, body) = http_get(server.local_addr(), "/healthz");
+    assert!(!body.contains("policy_version"), "{body}");
+
+    health.set_policy_version(3);
+    let config = ContinuousLoopConfig {
+        faults: LoopFaultPlan::none().with_empty_window(2),
+        ..loop_config(3, 2)
+    };
+    let run = run_continuous_loop_full(&catalog, &config, &telemetry);
+    assert!(!run.outcomes[2].status.is_trained(), "window 2 fell back");
+
+    // The degraded loop reports its fallback and still names the
+    // last-good version recorded before it started.
+    let (_, body) = http_get(server.local_addr(), "/healthz");
+    assert!(body.contains("\"ok\":false"), "{body}");
+    assert!(
+        body.contains("\"last_fallback_reason\":\"empty_window\""),
+        "{body}"
+    );
+    assert!(body.contains("\"policy_version\":3"), "{body}");
+
+    // A later publish recovers cleanly: the version advances in place.
+    health.set_policy_version(4);
+    let (_, body) = http_get(server.local_addr(), "/healthz");
+    assert!(body.contains("\"policy_version\":4"), "{body}");
+}
