@@ -14,6 +14,10 @@
 //!   never drains: every publish takes the drop path. This bounds the
 //!   damage a dead scraper can do to a run.
 //! * **sink_and_bus** — both attached, the busiest real configuration.
+//! * **span_disabled** / **span_traced** — a full span create + drop
+//!   (the trace-recorder hot path: ticket allocation, thread-stack
+//!   push/pop, histogram + event + finished-tree assembly) against the
+//!   disabled early return, measured per span rather than per emit.
 //!
 //! In sampling mode (`cargo bench -- --bench`) the measurements are
 //! written to `BENCH_telemetry.json` at the workspace root for the
@@ -38,6 +42,16 @@ fn bench_event(i: u64) -> Event {
 fn emit_n(telemetry: &Telemetry, n: u64) {
     for i in 0..n {
         telemetry.emit(&bench_event(i));
+    }
+}
+
+/// The trace-recorder hot path: one root span opened and dropped per
+/// iteration, so every cost of the recorder is on the clock — ticket
+/// allocation, stack bookkeeping, and (root close) building the
+/// finished tree and pushing it through the ring.
+fn span_n(telemetry: &Telemetry, n: u64) {
+    for _ in 0..n {
+        drop(telemetry.span("bench"));
     }
 }
 
@@ -119,6 +133,14 @@ fn bench_emit(c: &mut Criterion) {
     let stalled = Telemetry::with_parts(None, Some(stalled_bus));
     group.bench_function("bus_stalled", |b| b.iter(|| emit_n(&stalled, N)));
 
+    group.bench_function("span_disabled", |b| b.iter(|| span_n(&disabled, N)));
+    let span_bus = EventBus::default();
+    let span_drainer = Drainer::spawn(span_bus.subscribe_with_capacity(1 << 16));
+    let span_telemetry = Telemetry::with_parts(None, Some(span_bus.clone()));
+    group.bench_function("span_traced", |b| b.iter(|| span_n(&span_telemetry, N)));
+    span_bus.close();
+    span_drainer.finish();
+
     group.finish();
 }
 
@@ -130,12 +152,12 @@ struct Measured {
     events_per_sec: f64,
 }
 
-fn measure(n: u64, reps: u32, telemetry: &Telemetry) -> Measured {
-    emit_n(telemetry, n); // warm-up outside the counted window
+fn measure_with(n: u64, reps: u32, mut work: impl FnMut(u64)) -> Measured {
+    work(n); // warm-up outside the counted window
     let best = (0..reps)
         .map(|_| {
             let start = Instant::now();
-            emit_n(telemetry, n);
+            work(n);
             start.elapsed()
         })
         .min()
@@ -145,6 +167,10 @@ fn measure(n: u64, reps: u32, telemetry: &Telemetry) -> Measured {
         ns_per_event: ns,
         events_per_sec: 1e9 / ns,
     }
+}
+
+fn measure(n: u64, reps: u32, telemetry: &Telemetry) -> Measured {
+    measure_with(n, reps, |n| emit_n(telemetry, n))
 }
 
 fn main() {
@@ -190,6 +216,19 @@ fn main() {
     both_bus.close();
     both_drainer.finish();
 
+    let span_disabled_telemetry = Telemetry::disabled();
+    let span_disabled = measure_with(N, REPS, |n| span_n(&span_disabled_telemetry, n));
+    let span_bus = EventBus::default();
+    let span_drainer = Drainer::spawn(span_bus.subscribe_with_capacity(1 << 16));
+    let span_telemetry = Telemetry::with_parts(None, Some(span_bus.clone()));
+    let span_traced = measure_with(N, REPS, |n| span_n(&span_telemetry, n));
+    assert!(
+        span_telemetry.last_trace().is_some(),
+        "the traced arm never finished a trace"
+    );
+    span_bus.close();
+    span_drainer.finish();
+
     let arm = |name: &str, m: &Measured| {
         format!(
             "\"{name}\":{{\"ns_per_event\":{:.1},\"events_per_sec\":{:.0}}}",
@@ -197,12 +236,14 @@ fn main() {
         )
     };
     let json = format!(
-        "{{\"bench\":\"telemetry\",\"events\":{N},{},{},{},{},{}}}\n",
+        "{{\"bench\":\"telemetry\",\"events\":{N},{},{},{},{},{},{},{}}}\n",
         arm("disabled", &disabled),
         arm("sink", &sink),
         arm("bus_drained", &bus_drained),
         arm("bus_stalled", &bus_stalled),
         arm("sink_and_bus", &sink_and_bus),
+        arm("span_disabled", &span_disabled),
+        arm("span_traced", &span_traced),
     );
     // Bench binaries run with the package directory as CWD; anchor the
     // result file at the workspace root instead.

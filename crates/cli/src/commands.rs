@@ -1,7 +1,9 @@
 //! Implementations of the `autorecover` subcommands.
 
+use std::cell::RefCell;
 use std::fs;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Duration;
 
 use recovery_core::error_type::NoiseFilter;
@@ -12,7 +14,7 @@ use recovery_core::ingest::{self, ParseErrorPolicy};
 use recovery_core::parallel::WorkerPool;
 use recovery_core::persist::{policy_from_text, policy_to_text};
 use recovery_core::pipeline::{
-    run_continuous_loop_full, run_continuous_loop_published, ContinuousLoopConfig,
+    run_continuous_loop_instrumented, ContinuousLoopConfig, LoopRun, WindowPublication,
 };
 use recovery_core::platform::{CostEstimation, SimulationPlatform};
 use recovery_core::policy::{HybridPolicy, LivePolicy, TrainedPolicy, UserStatePolicy};
@@ -24,10 +26,10 @@ use recovery_diagnostics::{
 use recovery_mpattern::MPatternMiner;
 use recovery_serve::{publish_snapshot, PolicySnapshot, PolicyStore, ServeConfig, ServeDaemon};
 use recovery_simlog::{
-    availability, stats, ClusterSim, GeneratorConfig, LogGenerator, RecoveryLog, SymptomCatalog,
-    UserDefinedPolicy,
+    availability, stats, ClusterSim, FaultCatalog, GeneratorConfig, LogGenerator, RecoveryLog,
+    SymptomCatalog, UserDefinedPolicy,
 };
-use recovery_telemetry::{EventBus, Telemetry};
+use recovery_telemetry::{Event, EventBus, ObserverHandle, Telemetry};
 
 use crate::args::Args;
 use crate::session::Session;
@@ -630,6 +632,78 @@ pub fn diff_policy(args: &Args, session: &Session) -> Result<(), String> {
     Ok(())
 }
 
+/// Streams one `convergence` event per error type from a finished
+/// window's [`DiagnosticsRecorder`]. Every field is wall-clock-free and
+/// thread-count invariant (sweep counts, Q-delta tails, exact episode
+/// tallies), and `traces()` hands the types back in `BTreeMap` label
+/// order, so the convergence stream is byte-identical across `--threads`
+/// values — the same contract the `window` events honor.
+fn emit_convergence_events(
+    telemetry: &Telemetry,
+    window: usize,
+    recorder: &recovery_diagnostics::DiagnosticsRecorder,
+) {
+    for (label, traces) in recorder.traces() {
+        for trace in &traces {
+            telemetry.emit(
+                &Event::new("convergence")
+                    .with("window", window as u64)
+                    .with("error_type", label.as_str())
+                    .with("verdict", trace.verdict())
+                    .with("sweeps", trace.sweeps)
+                    .with("converged", trace.converged)
+                    .with("final_q_delta", trace.final_q_delta)
+                    .with("last_calm_sweeps", trace.last_calm_sweeps)
+                    .with("episodes", trace.episode_costs.episodes)
+                    .with("episode_steps", trace.episode_steps)
+                    .with("max_episode_steps", trace.max_episode_steps)
+                    .with("processes", trace.processes)
+                    .with("replay_attempts", trace.replay_attempts)
+                    .with("replay_cured", trace.replay_cured)
+                    .with("replay_from_log", trace.replay_from_log),
+            );
+        }
+    }
+}
+
+/// Shared driver for `loop` and `serve`: runs the instrumented
+/// continuous loop, attaching a fresh [`DiagnosticsRecorder`] to each
+/// window's retraining step so its convergence traces stream to the bus
+/// as the window publishes (live `/convergence` fodder). Recording is
+/// purely observational — policies and window outcomes are
+/// byte-identical to an unobserved run, and the recorder is skipped
+/// entirely when telemetry is disabled.
+fn run_loop_with_convergence(
+    catalog: &FaultCatalog,
+    config: &ContinuousLoopConfig,
+    telemetry: &Telemetry,
+    publish: &mut dyn FnMut(WindowPublication<'_>),
+) -> LoopRun {
+    let slot: RefCell<Option<Arc<DiagnosticsRecorder>>> = RefCell::new(None);
+    let mut window_observer = |_window: usize| {
+        if !telemetry.is_enabled() {
+            return ObserverHandle::none();
+        }
+        let recorder = DiagnosticsRecorder::new();
+        let handle = recorder.handle();
+        *slot.borrow_mut() = Some(recorder);
+        handle
+    };
+    let mut publish_inner = |publication: WindowPublication<'_>| {
+        if let Some(recorder) = slot.borrow_mut().take() {
+            emit_convergence_events(telemetry, publication.window, &recorder);
+        }
+        publish(publication);
+    };
+    run_continuous_loop_instrumented(
+        catalog,
+        config,
+        telemetry,
+        &mut window_observer,
+        &mut publish_inner,
+    )
+}
+
 /// `autorecover loop` — the paper's Figure 1 as a running system:
 /// alternate observation windows and retraining, reporting the realized
 /// MTTR per window.
@@ -665,7 +739,7 @@ pub fn continuous_loop(args: &Args, session: &Session) -> Result<(), String> {
         Some(recovery_telemetry::Telemetry::new())
     };
     let telemetry = local_telemetry.as_ref().unwrap_or(&session.telemetry);
-    let run = run_continuous_loop_full(&catalog, &config, telemetry);
+    let run = run_loop_with_convergence(&catalog, &config, telemetry, &mut |_| {});
     let outcomes = &run.outcomes;
     println!(
         "{:>6}  {:>9}  {:>10}  {:>8}  {:>9}  status",
@@ -843,7 +917,7 @@ pub fn serve(args: &Args, session: &Session) -> Result<(), String> {
         "running {windows} observation windows of {} machines beside the daemon ...",
         config.cluster.machines
     ));
-    let run = run_continuous_loop_published(&catalog, &config, &telemetry, &mut |publication| {
+    let run = run_loop_with_convergence(&catalog, &config, &telemetry, &mut |publication| {
         if let Some(policy) = publication.policy {
             let snapshot = PolicySnapshot::build(
                 policy,

@@ -84,7 +84,10 @@ COMMANDS:
       Serve a recovery policy over HTTP: POST /advise (ranked actions
       for a symptom state), POST /simulate (what-if replay of an action
       sequence), GET /policy and /policy/text (version, hash, canonical
-      text), plus /metrics, /snapshot, /healthz, and /events. With
+      text), plus the shared telemetry routes (/metrics, /snapshot,
+      /healthz, /events, /traces, /trace/<id>, /convergence). Every
+      response carries an X-Request-Id resolvable at /trace/req-<id>,
+      and per-route latency lands in serve.route.<route>.ms. With
       --policy it pins that policy file (add --log to enable /simulate
       replay against the training corpus); without it, it runs the
       continuous loop beside the daemon and hot-swaps a new immutable
@@ -101,7 +104,9 @@ COMMANDS:
       (or host:port) of a run started with --metrics-listen — streams
       its /events NDJSON — or a --metrics-out JSONL file (--follow true
       tails it until the run's final snapshot). Renders the loop's
-      window table plus fallback rate and convergence counts;
+      window table plus fallback rate and convergence counts, folds
+      live convergence events into a per-window verdict line, and
+      accumulates serving access events into per-route mean latencies;
       --refresh true redraws the screen in place on every update.
 
 GLOBAL FLAGS (accepted by every command):
@@ -125,8 +130,13 @@ GLOBAL FLAGS (accepted by every command):
                         command runs (port 0 picks an ephemeral port):
                         /metrics (Prometheus text), /snapshot (JSON
                         metrics), /healthz (loop status), /events
-                        (NDJSON event stream). Purely observational:
-                        outputs are byte-identical with or without it.
+                        (NDJSON event stream), /traces and /trace/<id>
+                        (finished span trees; append /profile for a
+                        flamegraph-style text rendering), /convergence
+                        (NDJSON stream of per-window retraining
+                        summaries; /convergence/sse frames it as SSE).
+                        Purely observational: outputs are byte-identical
+                        with or without it.
   --serve-linger SECS   Keep the --metrics-listen server up this long
                         after the command finishes, so scrapers can
                         collect the final state of short runs.

@@ -9,15 +9,19 @@
 //!
 //! Window summary events render as the same table `loop` prints, plus a
 //! running summary line (fallback rate, converged/trained type counts,
-//! loop phase). With `--refresh true` the screen is redrawn in place on
-//! every update (a refreshing TTY dashboard); the default appends rows,
-//! which is what CI logs and piped output want.
+//! loop phase). Live `convergence` events fold into a per-window
+//! convergence line (verdict tally and worst final Q-delta), and
+//! `access` events from a serving daemon accumulate into a per-route
+//! latency line (count and mean ms per route). With `--refresh true`
+//! the screen is redrawn in place on every update (a refreshing TTY
+//! dashboard); the default appends rows, which is what CI logs and
+//! piped output want.
 //!
 //! The watcher is a pure consumer: it never writes to the observed
 //! process, and a stalled watcher at worst drops events on the bus
 //! (never blocking training).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -43,6 +47,14 @@ struct WatchState {
     policy: Option<(u64, String)>,
     /// Number of `serve.reload` events seen.
     reloads: u64,
+    /// Live convergence stream: window of the most recent `convergence`
+    /// event, how many of that window's types converged vs finished, and
+    /// the worst (largest) final Q-delta seen in the window.
+    convergence: Option<(u64, u64, u64, f64)>,
+    /// Per-route request tallies from `access` events: route label →
+    /// (request count, total latency ms). BTreeMap so the rendered line
+    /// is stable regardless of arrival order.
+    routes: BTreeMap<String, (u64, f64)>,
     /// Whether the producing run's final snapshot has been seen.
     finished: bool,
 }
@@ -106,6 +118,35 @@ impl WatchState {
                 self.reloads += 1;
                 true
             }
+            "convergence" => {
+                let num = |key: &str| get(&fields, key).and_then(Field::as_f64).unwrap_or(0.0);
+                let window = num("window") as u64;
+                let converged = matches!(get(&fields, "converged"), Some(Field::Bool(true)));
+                let q_delta = num("final_q_delta");
+                // A new window restarts the tally; within a window each
+                // event is one error type's finished retraining.
+                let (_, done, total, worst) = match self.convergence {
+                    Some(state @ (w, ..)) if w == window => state,
+                    _ => (window, 0, 0, 0.0),
+                };
+                self.convergence = Some((
+                    window,
+                    done + u64::from(converged),
+                    total + 1,
+                    if q_delta > worst { q_delta } else { worst },
+                ));
+                true
+            }
+            "access" => {
+                let Some(route) = get(&fields, "route").and_then(Field::as_str) else {
+                    return false;
+                };
+                let ms = get(&fields, "ms").and_then(Field::as_f64).unwrap_or(0.0);
+                let entry = self.routes.entry(route.to_owned()).or_insert((0, 0.0));
+                entry.0 += 1;
+                entry.1 += ms;
+                true
+            }
             "snapshot" => {
                 self.finished = true;
                 true
@@ -133,8 +174,23 @@ impl WatchState {
                 self.reloads
             ));
         }
+        if let Some((window, done, total, worst)) = &self.convergence {
+            out.push_str(&format!(
+                " | window {window} convergence: {done}/{total} (worst dq {worst:.4})"
+            ));
+        }
         if !self.phase.is_empty() {
             out.push_str(&format!(" | phase: {}", self.phase));
+        }
+        if !self.routes.is_empty() {
+            let rendered: Vec<String> = self
+                .routes
+                .iter()
+                .map(|(route, (count, total_ms))| {
+                    format!("{route} {count}x {:.1}ms", total_ms / *count as f64)
+                })
+                .collect();
+            out.push_str(&format!("\nroutes: {}", rendered.join(" | ")));
         }
         out
     }
@@ -367,5 +423,51 @@ mod tests {
         assert!(!state.finished);
         assert!(state.apply("{\"type\":\"snapshot\",\"counters\":{}}"));
         assert!(state.finished);
+    }
+
+    #[test]
+    fn convergence_events_fold_into_a_per_window_tally() {
+        let mut state = WatchState::default();
+        assert!(state.apply(
+            "{\"type\":\"convergence\",\"window\":0,\"error_type\":\"type1\",\"verdict\":\"converged\",\"sweeps\":500,\"converged\":true,\"final_q_delta\":0.0125}",
+        ));
+        assert!(state.apply(
+            "{\"type\":\"convergence\",\"window\":0,\"error_type\":\"type2\",\"verdict\":\"capped\",\"sweeps\":900,\"converged\":false,\"final_q_delta\":0.41}",
+        ));
+        let summary = state.summary();
+        assert!(
+            summary.contains("window 0 convergence: 1/2 (worst dq 0.4100)"),
+            "{summary}"
+        );
+        // A new window resets the tally instead of mixing windows.
+        assert!(state.apply(
+            "{\"type\":\"convergence\",\"window\":1,\"error_type\":\"type1\",\"verdict\":\"converged\",\"sweeps\":420,\"converged\":true,\"final_q_delta\":0.009}",
+        ));
+        let summary = state.summary();
+        assert!(
+            summary.contains("window 1 convergence: 1/1 (worst dq 0.0090)"),
+            "{summary}"
+        );
+    }
+
+    #[test]
+    fn access_events_accumulate_per_route_latencies() {
+        let mut state = WatchState::default();
+        assert!(state.apply(
+            "{\"type\":\"access\",\"id\":\"req-1\",\"method\":\"POST\",\"path\":\"/advise\",\"route\":\"advise\",\"ms\":2.0}",
+        ));
+        assert!(state.apply(
+            "{\"type\":\"access\",\"id\":\"req-2\",\"method\":\"POST\",\"path\":\"/advise\",\"route\":\"advise\",\"ms\":4.0}",
+        ));
+        assert!(state.apply(
+            "{\"type\":\"access\",\"id\":\"req-3\",\"method\":\"GET\",\"path\":\"/healthz\",\"route\":\"healthz\",\"ms\":1.0}",
+        ));
+        // Malformed access events (no route) are ignored, not folded.
+        assert!(!state.apply("{\"type\":\"access\",\"id\":\"req-4\",\"ms\":9.0}"));
+        let summary = state.summary();
+        assert!(
+            summary.contains("routes: advise 2x 3.0ms | healthz 1x 1.0ms"),
+            "{summary}"
+        );
     }
 }

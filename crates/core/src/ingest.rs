@@ -260,7 +260,7 @@ pub fn parse_log(
     let ranges = chunk_ranges(lines.len(), pool.threads());
     let shards = {
         let _span = telemetry.span("parse_shards");
-        pool.map_indexed(ranges.len(), |i| {
+        pool.map_indexed_traced(ranges.len(), telemetry, "shard", |i| {
             parse_shard(&lines[ranges[i].clone()], ranges[i].start, &symptoms)
         })
     };
@@ -329,7 +329,7 @@ pub fn parse_log_with_policy(
     let ranges = chunk_ranges(lines.len(), pool.threads());
     let shards = {
         let _span = telemetry.span("parse_shards");
-        pool.map_indexed(ranges.len(), |i| {
+        pool.map_indexed_traced(ranges.len(), telemetry, "shard", |i| {
             parse_shard_lenient(
                 &lines[ranges[i].clone()],
                 ranges[i].start,
@@ -377,26 +377,34 @@ fn parse_shard_lenient(
     (entries, report)
 }
 
+/// How many machine-partition shards [`split_processes`] fans out,
+/// regardless of pool width. A fixed count (rather than
+/// `pool.threads()`) keeps the fan-out — and therefore the trace tree
+/// it records — structurally identical for every thread count: 8 shard
+/// spans whether one thread runs them all or eight threads run one
+/// each. Partitioning by `machine % SPLIT_SHARDS` is order-preserving
+/// per machine and the merge re-sorts globally, so the extracted
+/// processes were already partition-invariant; pinning the count makes
+/// the *observation* of the work invariant too.
+pub const SPLIT_SHARDS: usize = 8;
+
 /// Splits the log into complete recovery processes, sharding the
-/// per-machine extraction over `pool`. Equivalent to
-/// [`RecoveryLog::split_processes`] for every thread count.
+/// per-machine extraction into [`SPLIT_SHARDS`] partitions over `pool`.
+/// Equivalent to [`RecoveryLog::split_processes`] for every thread
+/// count — and, like lenient parsing, it always shards (even on a
+/// sequential pool) so the recorded trace tree is thread-count-invariant.
 pub fn split_processes(
     log: &mut RecoveryLog,
     pool: &WorkerPool,
     telemetry: &Telemetry,
 ) -> Vec<RecoveryProcess> {
-    if pool.is_sequential() {
-        let _span = telemetry.span("split_shards");
-        return log.split_processes();
-    }
     // Sorting (lazy, usually a no-op) must happen on the driver before
     // the entry slice is shared read-only with the workers.
     let entries = log.entries();
-    let shards = pool.threads();
     let extracted = {
         let _span = telemetry.span("split_shards");
-        pool.map_indexed(shards, |s| {
-            extract_processes(entries, |m| m.index() as usize % shards == s)
+        pool.map_indexed_traced(SPLIT_SHARDS, telemetry, "shard", |s| {
+            extract_processes(entries, |m| m.index() as usize % SPLIT_SHARDS == s)
         })
     };
     let _span = telemetry.span("merge_processes");

@@ -307,6 +307,29 @@ pub fn run_continuous_loop_published(
     telemetry: &Telemetry,
     publish: &mut dyn FnMut(WindowPublication<'_>),
 ) -> LoopRun {
+    run_continuous_loop_instrumented(catalog, config, telemetry, &mut |_| ObserverHandle::none(), publish)
+}
+
+/// [`run_continuous_loop_published`] with a per-window observer seam:
+/// before each window's retraining step, `window_observer` is called
+/// with the window index and the handle it returns rides along with the
+/// telemetry observer for that retraining only. This is how the CLI
+/// attaches a fresh per-window `DiagnosticsRecorder` (the diagnostics
+/// crate sits above this one, so the recorder cannot be constructed
+/// here) and streams its convergence traces live. The seam is purely
+/// additive: outcomes, events, and policies are byte-identical to the
+/// uninstrumented run.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn run_continuous_loop_instrumented(
+    catalog: &FaultCatalog,
+    config: &ContinuousLoopConfig,
+    telemetry: &Telemetry,
+    window_observer: &mut dyn FnMut(usize) -> ObserverHandle,
+    publish: &mut dyn FnMut(WindowPublication<'_>),
+) -> LoopRun {
     config.validate();
     let health = telemetry.health();
     if let Some(health) = &health {
@@ -387,7 +410,8 @@ pub fn run_continuous_loop_published(
         let mut retrained_this_window = false;
         if window + 1 < config.windows && status.is_trained() {
             let _span = telemetry.span("retrain");
-            match retrain(config, &accumulated, window, telemetry) {
+            let extra_observer = window_observer(window);
+            match retrain(config, &accumulated, window, telemetry, &extra_observer) {
                 Ok((policy, tail)) => {
                     current = Some(policy);
                     q_delta_tail = tail;
@@ -485,6 +509,7 @@ fn retrain(
     accumulated: &[RecoveryProcess],
     window: usize,
     telemetry: &Telemetry,
+    extra_observer: &ObserverHandle,
 ) -> Result<(TrainedPolicy, f64), FallbackReason> {
     // The tail observer rides along only when telemetry is on: the value
     // feeds the `window` event, which is only emitted then.
@@ -516,9 +541,11 @@ fn retrain(
                 )),
             None => telemetry.observer_handle(),
         };
+        let observer = observer.fanout(extra_observer);
         let trainer = OfflineTrainer::new(&clean, config.trainer.clone())
             .with_threads(config.threads)
-            .with_observer(observer);
+            .with_observer(observer)
+            .with_telemetry(telemetry.clone());
         let tree = SelectionTreeTrainer::new(&trainer, config.tree.clone());
         let (policy, _) = tree.train(&types);
         Ok(policy)

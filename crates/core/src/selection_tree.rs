@@ -236,10 +236,18 @@ impl<'t, 'a> SelectionTreeTrainer<'t, 'a> {
     /// the underlying trainer's worker pool and merged in the order of
     /// `types`, so the result does not depend on the thread count.
     pub fn train(&self, types: &[ErrorType]) -> (TrainedPolicy, Vec<TypeTrainingStats>) {
-        let outcomes = self
-            .trainer
-            .pool()
-            .map_indexed(types.len(), |i| self.train_type(types[i]));
+        // Same per-type worker spans as `OfflineTrainer::train`: label
+        // by type, rank by position, so the trace tree is invariant.
+        let telemetry = self.trainer.telemetry();
+        let ctx = telemetry.trace_context();
+        let outcomes = self.trainer.pool().map_indexed(types.len(), |i| {
+            let _span = telemetry.worker_span(
+                ctx.as_ref(),
+                &OfflineTrainer::type_label(types[i]),
+                i as u64,
+            );
+            self.train_type(types[i])
+        });
         let mut policy = TrainedPolicy::default();
         let mut stats = Vec::new();
         for outcome in outcomes.into_iter().flatten() {

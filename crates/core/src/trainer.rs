@@ -17,7 +17,7 @@ use recovery_mdp::{
     DoubleQLearning, Environment, QLearning, QLearningConfig, QTable, Step, TemperatureSchedule,
 };
 use recovery_simlog::{RecoveryProcess, RepairAction};
-use recovery_telemetry::{Event, ObserverHandle, TrainingObserver};
+use recovery_telemetry::{Event, ObserverHandle, Telemetry, TrainingObserver};
 
 use crate::error_type::{ErrorType, ErrorTypeRanking};
 use crate::parallel::WorkerPool;
@@ -300,6 +300,7 @@ pub struct OfflineTrainer<'a> {
     config: TrainerConfig,
     observer: ObserverHandle,
     pool: WorkerPool,
+    telemetry: Telemetry,
 }
 
 impl<'a> OfflineTrainer<'a> {
@@ -320,6 +321,7 @@ impl<'a> OfflineTrainer<'a> {
             config,
             observer: ObserverHandle::none(),
             pool: WorkerPool::available(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -339,6 +341,20 @@ impl<'a> OfflineTrainer<'a> {
     /// The worker pool used by [`OfflineTrainer::train`].
     pub fn pool(&self) -> &WorkerPool {
         &self.pool
+    }
+
+    /// Attaches a [`Telemetry`] handle so per-type training fan-outs
+    /// record worker spans (one per type, named by its label) into the
+    /// enclosing trace tree. Purely observational — the trained tables
+    /// are byte-identical with or without it.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The attached telemetry handle (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Attaches a training observer. The observer receives sweep-level
@@ -521,9 +537,16 @@ impl<'a> OfflineTrainer<'a> {
     /// the order of `types` — states of different types are disjoint — so
     /// the result is byte-identical for any thread count.
     pub fn train(&self, types: &[ErrorType]) -> (TrainedPolicy, Vec<TypeTrainingStats>) {
-        let fragments = self
-            .pool
-            .map_indexed(types.len(), |i| self.train_type(types[i]));
+        // Each worker records a span named by its type label, ranked by
+        // position in `types`, so the trace tree shows per-type training
+        // in ranking order for any thread count.
+        let ctx = self.telemetry.trace_context();
+        let fragments = self.pool.map_indexed(types.len(), |i| {
+            let _span =
+                self.telemetry
+                    .worker_span(ctx.as_ref(), &Self::type_label(types[i]), i as u64);
+            self.train_type(types[i])
+        });
         let mut policy = TrainedPolicy::default();
         let mut all_stats = Vec::new();
         for (q, stats) in fragments.into_iter().flatten() {

@@ -9,7 +9,18 @@
 //! | `POST /simulate`   | what-if replay of an action sequence             |
 //! | `GET /policy`      | version / hash / source metadata                 |
 //! | `GET /policy/text` | the canonical `policy_to_text` rendering         |
-//! | `GET /metrics` …   | the four telemetry routes, unchanged             |
+//! | `GET /metrics` …   | the shared telemetry routes, including           |
+//! |                    | `/trace/<id>` span trees and the `/convergence`  |
+//! |                    | stream (see `recovery_telemetry::serve`)         |
+//!
+//! **Request identity**: every handled request runs inside a `request`
+//! span, which roots a trace in the telemetry handle's trace ring. The
+//! request id is `req-<trace id>` (or a daemon-local counter when
+//! telemetry is disabled); it is echoed on every response as
+//! `X-Request-Id`, resolvable at `GET /trace/req-<id>` once the request
+//! finished, and carried by the per-request `access` event on the bus.
+//! Latency lands in the aggregate `serve.request.ms` histogram and the
+//! per-route `serve.route.<route>.ms` one.
 //!
 //! **Shedding contract**: each accepted connection either (a) is shed
 //! *before* any work with a typed `503 {"type":"shed"}` body when
@@ -24,7 +35,7 @@
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::str::FromStr;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -34,9 +45,10 @@ use recovery_diagnostics::Json;
 use recovery_simlog::RepairAction;
 use recovery_telemetry::flatjson::{self, Field};
 use recovery_telemetry::serve::{
-    read_request, respond_telemetry, write_response, ACCEPT_POLL, REQUEST_TIMEOUT,
+    read_request, respond_telemetry, write_response, write_response_with, ACCEPT_POLL,
+    REQUEST_TIMEOUT,
 };
-use recovery_telemetry::{HttpRequest, Telemetry, DURATION_MS_BOUNDS};
+use recovery_telemetry::{Event, HttpRequest, Telemetry, DURATION_MS_BOUNDS};
 
 use crate::snapshot::PolicySnapshot;
 use crate::store::PolicyStore;
@@ -150,6 +162,10 @@ fn accept_loop(
     stop: Arc<AtomicBool>,
 ) {
     let inflight = Arc::new(AtomicUsize::new(0));
+    // Fallback request-id counter for a telemetry-disabled daemon (with
+    // telemetry on, ids come from the trace ids, which are already
+    // unique per handle).
+    let fallback_ids = Arc::new(AtomicU64::new(0));
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -190,6 +206,7 @@ fn accept_loop(
                 let handler_telemetry = telemetry.clone();
                 let handler_stop = stop.clone();
                 let handler_inflight = inflight.clone();
+                let handler_ids = fallback_ids.clone();
                 let delay = config.handler_delay;
                 let spawned = std::thread::Builder::new()
                     .name("policy-conn".to_string())
@@ -200,6 +217,7 @@ fn accept_loop(
                             &handler_telemetry,
                             &handler_stop,
                             delay,
+                            &handler_ids,
                         );
                         handler_inflight.fetch_sub(1, Ordering::SeqCst);
                     });
@@ -225,6 +243,7 @@ fn handle_connection(
     telemetry: &Telemetry,
     stop: &AtomicBool,
     delay: Duration,
+    fallback_ids: &AtomicU64,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(REQUEST_TIMEOUT))?;
     stream.set_nodelay(true).ok();
@@ -239,31 +258,83 @@ fn handle_connection(
     if !delay.is_zero() {
         std::thread::sleep(delay);
     }
-    let result = route(&request, stream, store, telemetry, stop);
+    let label = route_label(&request);
+    // The request span roots this request's trace: the id it allocates
+    // IS the request id, so `X-Request-Id: req-<n>` and `GET
+    // /trace/req-<n>` (after the response) name the same tree.
+    let span = telemetry.span("request");
+    let rid = match span.trace_id() {
+        Some(trace) => format!("req-{trace}"),
+        None => format!("req-{}", fallback_ids.fetch_add(1, Ordering::Relaxed) + 1),
+    };
+    let result = route(&request, stream, store, telemetry, stop, label, &rid);
+    drop(span);
     counter_inc(telemetry, "serve.served");
+    let ms = started.elapsed().as_secs_f64() * 1e3;
     if let Some(registry) = telemetry.registry() {
+        // The aggregate histogram stays (dashboard continuity); the
+        // per-route one splits it.
         registry
             .histogram("serve.request.ms", &DURATION_MS_BOUNDS)
-            .record(started.elapsed().as_secs_f64() * 1e3);
+            .record(ms);
+        registry
+            .histogram(&format!("serve.route.{label}.ms"), &DURATION_MS_BOUNDS)
+            .record(ms);
     }
+    telemetry.emit(
+        &Event::new("access")
+            .with("id", rid.as_str())
+            .with("method", request.method.as_str())
+            .with("path", request.path.as_str())
+            .with("route", label)
+            .with("ms", ms),
+    );
     result
 }
 
+/// The stable label a request is accounted under: the per-route latency
+/// histogram is `serve.route.<label>.ms` and the `access` event carries
+/// the same label. Parameterized paths collapse (`/trace/<id>` and
+/// `/trace/<id>/profile` are all `trace`) so the metric namespace stays
+/// bounded no matter what ids clients ask for.
+fn route_label(request: &HttpRequest) -> &'static str {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/advise") => "advise",
+        ("POST", "/simulate") => "simulate",
+        ("GET", "/policy") => "policy",
+        ("GET", "/policy/text") => "policy_text",
+        ("GET", "/metrics") => "metrics",
+        ("GET", "/snapshot") => "snapshot",
+        ("GET", "/healthz") => "healthz",
+        ("GET", "/events") => "events",
+        ("GET", "/convergence") | ("GET", "/convergence/sse") => "convergence",
+        ("GET", "/traces") => "traces",
+        ("GET", path) if path.starts_with("/trace/") => "trace",
+        _ => "unknown",
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn route(
     request: &HttpRequest,
     mut stream: TcpStream,
     store: &PolicyStore,
     telemetry: &Telemetry,
     stop: &AtomicBool,
+    label: &str,
+    rid: &str,
 ) -> io::Result<()> {
+    // Each handler runs inside a child span named by the route label, so
+    // the request's trace tree reads `request` → `<route>`.
+    let _route_span = telemetry.span(label);
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/advise") => advise(request, &mut stream, store),
-        ("POST", "/simulate") => simulate(request, &mut stream, store),
-        ("GET", "/policy") => policy_meta(&mut stream, store),
-        ("GET", "/policy/text") => policy_text(&mut stream, store),
-        _ => match respond_telemetry(request, stream.try_clone()?, telemetry, stop) {
+        ("POST", "/advise") => advise(request, &mut stream, store, rid),
+        ("POST", "/simulate") => simulate(request, &mut stream, store, rid),
+        ("GET", "/policy") => policy_meta(&mut stream, store, rid),
+        ("GET", "/policy/text") => policy_text(&mut stream, store, rid),
+        _ => match respond_telemetry(request, stream.try_clone()?, telemetry, stop, Some(rid)) {
             Some(result) => result,
-            None => typed_error(&mut stream, "404 Not Found", "unknown_route", None),
+            None => typed_error(&mut stream, "404 Not Found", "unknown_route", None, rid),
         },
     }
 }
@@ -275,18 +346,25 @@ fn typed_error(
     status: &str,
     reason: &str,
     snapshot: Option<&PolicySnapshot>,
+    rid: &str,
 ) -> io::Result<()> {
     let mut doc = Json::obj().field("type", "error").field("reason", reason);
     if let Some(snapshot) = snapshot {
         doc = doc.field("version", snapshot.version());
     }
-    write_response(stream, status, "application/json", &doc.render())
+    write_response_with(
+        stream,
+        status,
+        "application/json",
+        &doc.render(),
+        &[("X-Request-Id", rid)],
+    )
 }
 
 /// A typed `503 {"type":"unavailable"}` — the daemon is up but cannot
 /// answer this request yet (distinct from overload shedding).
-fn unavailable(stream: &mut TcpStream, reason: &str) -> io::Result<()> {
-    write_response(
+fn unavailable(stream: &mut TcpStream, reason: &str, rid: &str) -> io::Result<()> {
+    write_response_with(
         stream,
         "503 Service Unavailable",
         "application/json",
@@ -294,11 +372,12 @@ fn unavailable(stream: &mut TcpStream, reason: &str) -> io::Result<()> {
             .field("type", "unavailable")
             .field("reason", reason)
             .render(),
+        &[("X-Request-Id", rid)],
     )
 }
 
-fn bad_request(stream: &mut TcpStream) -> io::Result<()> {
-    typed_error(stream, "400 Bad Request", "bad_request", None)
+fn bad_request(stream: &mut TcpStream, rid: &str) -> io::Result<()> {
+    typed_error(stream, "400 Bad Request", "bad_request", None, rid)
 }
 
 /// Parses an optional JSON list of action tokens (`["REBOOT", ...]`).
@@ -317,25 +396,30 @@ fn parse_actions(field: Option<&Field>) -> Result<Vec<RepairAction>, ()> {
     }
 }
 
-fn advise(request: &HttpRequest, stream: &mut TcpStream, store: &PolicyStore) -> io::Result<()> {
+fn advise(
+    request: &HttpRequest,
+    stream: &mut TcpStream,
+    store: &PolicyStore,
+    rid: &str,
+) -> io::Result<()> {
     let Some(current) = store.current() else {
-        return unavailable(stream, "no_policy");
+        return unavailable(stream, "no_policy", rid);
     };
     let parsed = request
         .body_text()
         .and_then(|body| flatjson::parse_line(body.trim()));
     let Some(fields) = parsed else {
-        return bad_request(stream);
+        return bad_request(stream, rid);
     };
     let Some(symptom) = flatjson::get(&fields, "symptom").and_then(Field::as_str) else {
-        return bad_request(stream);
+        return bad_request(stream, rid);
     };
     let Ok(tried) = parse_actions(flatjson::get(&fields, "tried")) else {
-        return bad_request(stream);
+        return bad_request(stream, rid);
     };
     let tried = ActionMultiset::from_actions(tried);
     if !current.knows_symptom(symptom) {
-        return typed_error(stream, "404 Not Found", "unknown_symptom", Some(&current));
+        return typed_error(stream, "404 Not Found", "unknown_symptom", Some(&current), rid);
     }
     match current.advice(symptom, tried) {
         Some(state_json) => {
@@ -348,37 +432,48 @@ fn advise(request: &HttpRequest, stream: &mut TcpStream, store: &PolicyStore) ->
                 current.hash(),
                 state_json
             );
-            write_response(stream, "200 OK", "application/json", &body)
+            write_response_with(
+                stream,
+                "200 OK",
+                "application/json",
+                &body,
+                &[("X-Request-Id", rid)],
+            )
         }
-        None => typed_error(stream, "404 Not Found", "unadvised_state", Some(&current)),
+        None => typed_error(stream, "404 Not Found", "unadvised_state", Some(&current), rid),
     }
 }
 
-fn simulate(request: &HttpRequest, stream: &mut TcpStream, store: &PolicyStore) -> io::Result<()> {
+fn simulate(
+    request: &HttpRequest,
+    stream: &mut TcpStream,
+    store: &PolicyStore,
+    rid: &str,
+) -> io::Result<()> {
     let Some(current) = store.current() else {
-        return unavailable(stream, "no_policy");
+        return unavailable(stream, "no_policy", rid);
     };
     let parsed = request
         .body_text()
         .and_then(|body| flatjson::parse_line(body.trim()));
     let Some(fields) = parsed else {
-        return bad_request(stream);
+        return bad_request(stream, rid);
     };
     let Some(symptom) = flatjson::get(&fields, "symptom").and_then(Field::as_str) else {
-        return bad_request(stream);
+        return bad_request(stream, rid);
     };
     let actions = match flatjson::get(&fields, "actions") {
         Some(field) => match parse_actions(Some(field)) {
             Ok(actions) if !actions.is_empty() => actions,
-            _ => return bad_request(stream),
+            _ => return bad_request(stream, rid),
         },
-        None => return bad_request(stream),
+        None => return bad_request(stream, rid),
     };
     let Some(plane) = current.replay() else {
-        return unavailable(stream, "replay_unavailable");
+        return unavailable(stream, "replay_unavailable", rid);
     };
     if !current.knows_symptom(symptom) {
-        return typed_error(stream, "404 Not Found", "unknown_symptom", Some(&current));
+        return typed_error(stream, "404 Not Found", "unknown_symptom", Some(&current), rid);
     }
     let Some(run) = plane.simulate(symptom, &actions) else {
         return typed_error(
@@ -386,6 +481,7 @@ fn simulate(request: &HttpRequest, stream: &mut TcpStream, store: &PolicyStore) 
             "404 Not Found",
             "unsimulated_symptom",
             Some(&current),
+            rid,
         );
     };
     let doc = Json::obj()
@@ -410,12 +506,18 @@ fn simulate(request: &HttpRequest, stream: &mut TcpStream, store: &PolicyStore) 
         )
         .field("cured", run.cured)
         .field("total_cost_s", run.total_cost_s);
-    write_response(stream, "200 OK", "application/json", &doc.render())
+    write_response_with(
+        stream,
+        "200 OK",
+        "application/json",
+        &doc.render(),
+        &[("X-Request-Id", rid)],
+    )
 }
 
-fn policy_meta(stream: &mut TcpStream, store: &PolicyStore) -> io::Result<()> {
+fn policy_meta(stream: &mut TcpStream, store: &PolicyStore, rid: &str) -> io::Result<()> {
     let Some(current) = store.current() else {
-        return unavailable(stream, "no_policy");
+        return unavailable(stream, "no_policy", rid);
     };
     let doc = Json::obj()
         .field("type", "policy")
@@ -425,18 +527,25 @@ fn policy_meta(stream: &mut TcpStream, store: &PolicyStore) -> io::Result<()> {
         .field("entries", current.entries())
         .field("advised_states", current.advised_states())
         .field("replay", current.replay().is_some());
-    write_response(stream, "200 OK", "application/json", &doc.render())
+    write_response_with(
+        stream,
+        "200 OK",
+        "application/json",
+        &doc.render(),
+        &[("X-Request-Id", rid)],
+    )
 }
 
-fn policy_text(stream: &mut TcpStream, store: &PolicyStore) -> io::Result<()> {
+fn policy_text(stream: &mut TcpStream, store: &PolicyStore, rid: &str) -> io::Result<()> {
     let Some(current) = store.current() else {
-        return unavailable(stream, "no_policy");
+        return unavailable(stream, "no_policy", rid);
     };
-    write_response(
+    write_response_with(
         stream,
         "200 OK",
         "text/plain; charset=utf-8",
         current.text(),
+        &[("X-Request-Id", rid)],
     )
 }
 
@@ -542,5 +651,110 @@ mod tests {
             registry.counter("serve.requests").get(),
             registry.counter("serve.served").get() + registry.counter("serve.shed").get()
         );
+    }
+
+    fn request_id(head: &str) -> String {
+        head.lines()
+            .find_map(|line| line.strip_prefix("X-Request-Id: "))
+            .expect("X-Request-Id header")
+            .trim()
+            .to_string()
+    }
+
+    #[test]
+    fn every_response_carries_a_resolvable_request_id() {
+        let telemetry = Telemetry::with_parts(None, Some(EventBus::default()));
+        let daemon = ServeDaemon::bind(
+            "127.0.0.1:0",
+            PolicyStore::new(),
+            telemetry.clone(),
+            ServeConfig::default(),
+        )
+        .expect("bind");
+        // A policy route (503 here), a telemetry route, and a 404 all
+        // stamp the id; ids are distinct per request.
+        let (advise_head, _) = post(daemon.local_addr(), "/advise", "{\"symptom\":\"x\"}");
+        let (metrics_head, _) = get(daemon.local_addr(), "/metrics");
+        let (missing_head, _) = get(daemon.local_addr(), "/nope");
+        let ids: Vec<String> = [&advise_head, &metrics_head, &missing_head]
+            .into_iter()
+            .map(|head| request_id(head))
+            .collect();
+        assert_eq!(ids.len(), 3);
+        assert!(ids.iter().all(|id| id.starts_with("req-")), "{ids:?}");
+        assert_eq!(
+            ids.iter().collect::<std::collections::BTreeSet<_>>().len(),
+            3,
+            "ids must be unique: {ids:?}"
+        );
+        // The id resolves to the finished request's span tree.
+        let (head, body) = get(daemon.local_addr(), &format!("/trace/{}", ids[0]));
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.starts_with("{\"type\":\"trace_tree\""), "{body}");
+        assert!(body.contains("\"name\":\"request\""), "{body}");
+        assert!(body.contains("\"name\":\"advise\""), "{body}");
+    }
+
+    #[test]
+    fn latency_lands_in_both_aggregate_and_per_route_histograms() {
+        let bus = EventBus::default();
+        let subscription = bus.subscribe();
+        let telemetry = Telemetry::with_parts(None, Some(bus));
+        let daemon = ServeDaemon::bind(
+            "127.0.0.1:0",
+            PolicyStore::new(),
+            telemetry.clone(),
+            ServeConfig::default(),
+        )
+        .expect("bind");
+        let _ = get(daemon.local_addr(), "/healthz");
+        let _ = get(daemon.local_addr(), "/healthz");
+        let _ = post(daemon.local_addr(), "/advise", "{\"symptom\":\"x\"}");
+        let _ = get(daemon.local_addr(), "/trace/req-1");
+        let registry = telemetry.registry().unwrap();
+        let route_count = |route: &str| {
+            registry
+                .histogram(&format!("serve.route.{route}.ms"), &DURATION_MS_BOUNDS)
+                .count()
+        };
+        assert_eq!(route_count("healthz"), 2);
+        assert_eq!(route_count("advise"), 1);
+        assert_eq!(route_count("trace"), 1);
+        assert_eq!(
+            registry
+                .histogram("serve.request.ms", &DURATION_MS_BOUNDS)
+                .count(),
+            4,
+            "aggregate histogram must keep counting"
+        );
+        // Each request also leaves an access event on the bus carrying
+        // the same route label.
+        let access: Vec<String> = subscription
+            .drain()
+            .into_iter()
+            .filter(|line| line.starts_with("{\"type\":\"access\""))
+            .collect();
+        assert_eq!(access.len(), 4, "{access:?}");
+        assert!(access[0].contains("\"route\":\"healthz\""), "{}", access[0]);
+        assert!(access[2].contains("\"route\":\"advise\""), "{}", access[2]);
+        assert!(access[2].contains("\"method\":\"POST\""), "{}", access[2]);
+        assert!(access[3].contains("\"route\":\"trace\""), "{}", access[3]);
+    }
+
+    #[test]
+    fn request_ids_survive_disabled_telemetry() {
+        let daemon = ServeDaemon::bind(
+            "127.0.0.1:0",
+            PolicyStore::new(),
+            Telemetry::disabled(),
+            ServeConfig::default(),
+        )
+        .expect("bind");
+        let (head, _) = get(daemon.local_addr(), "/policy");
+        let first = request_id(&head);
+        let (head, _) = get(daemon.local_addr(), "/policy");
+        let second = request_id(&head);
+        assert!(first.starts_with("req-"), "{first}");
+        assert_ne!(first, second);
     }
 }

@@ -117,7 +117,7 @@ impl Event {
     }
 }
 
-fn write_json_str(out: &mut String, s: &str) {
+pub(crate) fn write_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -54,6 +54,7 @@ mod metrics;
 mod observer;
 mod prometheus;
 pub mod serve;
+mod trace;
 
 pub use bus::{EventBus, PublishOutcome, Subscription, DEFAULT_SUBSCRIBER_CAPACITY};
 pub use event::{snapshot_to_json, Event, JsonlSink, Value};
@@ -65,6 +66,7 @@ pub use metrics::{
 pub use observer::{NoopObserver, ObserverHandle, TrainingObserver};
 pub use prometheus::{render_prometheus, render_prometheus_namespaced, NAMESPACE};
 pub use serve::{HttpRequest, MetricsServer};
+pub use trace::{TraceContext, TraceNode, TraceTree, TRACE_RING_CAPACITY};
 
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -82,11 +84,13 @@ struct Inner {
     bus: Option<EventBus>,
     /// Last-value-wins loop status served by `/healthz`.
     health: HealthState,
-    /// Stack of active span names for building nested `a/b/c` paths.
-    /// Spans are scoped to the pipeline's driver thread; concurrent
-    /// spans from other threads would interleave paths, so workers
-    /// should use their own `Telemetry` or plain registry handles.
-    span_stack: Mutex<Vec<String>>,
+    /// The trace-tree recorder: per-thread span stacks, active traces,
+    /// and the bounded ring of finished [`TraceTree`]s. Worker threads
+    /// join the driver's trace via [`Telemetry::worker_span`] with a
+    /// propagated [`TraceContext`]; poisoned locks are recovered, not
+    /// propagated, so a panicking observed stage can't take the whole
+    /// tracing plane down with it.
+    tracer: trace::TraceRecorder,
     epoch: Instant,
 }
 
@@ -131,7 +135,7 @@ impl Telemetry {
                 sink,
                 bus,
                 health: HealthState::new(),
-                span_stack: Mutex::new(Vec::new()),
+                tracer: trace::TraceRecorder::default(),
                 epoch: Instant::now(),
             })),
         }
@@ -188,17 +192,70 @@ impl Telemetry {
     /// Starts a named wall-clock span; the returned guard records its
     /// duration (histogram `span.<path>.ms`, counter `span.<path>.calls`,
     /// and a `span` event) when dropped. Nested spans build `a/b` paths.
+    ///
+    /// Spans also record into the trace-tree plane: a span opened with
+    /// no enclosing span roots a new trace, nested spans become its
+    /// children, and when the root closes the finished [`TraceTree`] is
+    /// retained (see [`Telemetry::trace_tree`]) and announced with a
+    /// `trace` event.
     pub fn span(&self, name: &str) -> Span<'_> {
-        let path = self.inner.as_deref().map(|inner| {
-            let mut stack = inner.span_stack.lock().expect("span stack poisoned");
-            stack.push(name.to_string());
-            stack.join("/")
-        });
+        let ticket = self
+            .inner
+            .as_deref()
+            .map(|inner| inner.tracer.begin_span(name, None, None));
         Span {
             telemetry: self,
-            path,
+            ticket,
             start: Instant::now(),
         }
+    }
+
+    /// Starts a span as a child of a captured [`TraceContext`], with an
+    /// explicit sibling `rank` (the work-item index). This is how
+    /// worker-pool threads join the driver thread's trace: the driver
+    /// captures [`Telemetry::trace_context`] before the fan-out, each
+    /// worker opens its span against it, and because siblings are
+    /// ordered by rank at collection the finished tree is independent
+    /// of worker scheduling. With `ctx: None` this behaves like
+    /// [`Telemetry::span`] but still pins the sibling rank.
+    pub fn worker_span(&self, ctx: Option<&TraceContext>, name: &str, rank: u64) -> Span<'_> {
+        let ticket = self
+            .inner
+            .as_deref()
+            .map(|inner| inner.tracer.begin_span(name, ctx.copied(), Some(rank)));
+        Span {
+            telemetry: self,
+            ticket,
+            start: Instant::now(),
+        }
+    }
+
+    /// The calling thread's innermost open span as a capturable
+    /// [`TraceContext`], for propagation into worker threads. `None`
+    /// when disabled or when no span is open on this thread.
+    pub fn trace_context(&self) -> Option<TraceContext> {
+        self.inner
+            .as_deref()
+            .and_then(|inner| inner.tracer.current_context())
+    }
+
+    /// The finished trace tree with the given id, if still retained in
+    /// the ring of the last [`TRACE_RING_CAPACITY`] traces.
+    pub fn trace_tree(&self, trace: u64) -> Option<TraceTree> {
+        self.inner.as_deref().and_then(|inner| inner.tracer.tree(trace))
+    }
+
+    /// The most recently finished trace tree, if any.
+    pub fn last_trace(&self) -> Option<TraceTree> {
+        self.inner.as_deref().and_then(|inner| inner.tracer.last_tree())
+    }
+
+    /// All retained finished trace trees, oldest first.
+    pub fn trace_trees(&self) -> Vec<TraceTree> {
+        self.inner
+            .as_deref()
+            .map(|inner| inner.tracer.trees())
+            .unwrap_or_default()
     }
 
     /// An observer that funnels training hooks into this handle's
@@ -246,31 +303,39 @@ impl Telemetry {
     }
 }
 
-/// An RAII wall-clock timer created by [`Telemetry::span`].
+/// An RAII wall-clock timer created by [`Telemetry::span`] or
+/// [`Telemetry::worker_span`], also recording one node of the enclosing
+/// trace tree.
 #[derive(Debug)]
 pub struct Span<'a> {
     telemetry: &'a Telemetry,
-    /// Full nested path, or `None` when telemetry is disabled.
-    path: Option<String>,
+    /// The recorder's handle on the open span (`None` when disabled).
+    ticket: Option<trace::SpanTicket>,
     start: Instant,
 }
 
 impl Span<'_> {
     /// The full nested path of this span (`None` when disabled).
     pub fn path(&self) -> Option<&str> {
-        self.path.as_deref()
+        self.ticket.as_ref().map(|t| t.path.as_str())
+    }
+
+    /// The id of the trace this span belongs to (`None` when disabled).
+    pub fn trace_id(&self) -> Option<u64> {
+        self.ticket.as_ref().map(|t| t.trace)
     }
 }
 
 impl Drop for Span<'_> {
     fn drop(&mut self) {
-        let Some(path) = self.path.take() else {
+        let Some(ticket) = self.ticket.take() else {
             return;
         };
         let Some(inner) = self.telemetry.inner.as_deref() else {
             return;
         };
         let ms = self.start.elapsed().as_secs_f64() * 1e3;
+        let path = &ticket.path;
         inner
             .registry
             .histogram(&format!("span.{path}.ms"), &DURATION_MS_BOUNDS)
@@ -280,10 +345,21 @@ impl Drop for Span<'_> {
             &Event::new("span")
                 .with("name", path.as_str())
                 .with("ms", ms)
-                .with("at_ms", self.telemetry.elapsed_ms()),
+                .with("at_ms", self.telemetry.elapsed_ms())
+                .with("trace", ticket.trace),
         );
-        let mut stack = inner.span_stack.lock().expect("span stack poisoned");
-        stack.pop();
+        if let Some(tree) = inner.tracer.end_span(&ticket, ms) {
+            // The root closed: announce the finished tree on the bus so
+            // `/trace/<id>` consumers learn which id to fetch.
+            self.telemetry.emit(
+                &Event::new("trace")
+                    .with("trace", tree.trace)
+                    .with("root", tree.root.name.as_str())
+                    .with("spans", tree.span_count())
+                    .with("ms", tree.root.ms)
+                    .with("at_ms", self.telemetry.elapsed_ms()),
+            );
+        }
     }
 }
 
@@ -537,9 +613,70 @@ mod tests {
         t.finish();
         let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 2, "span event + snapshot: {text}");
+        assert_eq!(lines.len(), 3, "span event + trace event + snapshot: {text}");
         assert!(lines[0].starts_with("{\"type\":\"span\",\"name\":\"stage\""));
-        assert!(lines[1].starts_with("{\"type\":\"snapshot\""));
-        assert!(lines[1].contains("\"span.stage.calls\":1"));
+        assert!(lines[0].contains("\"trace\":1"), "{}", lines[0]);
+        assert!(
+            lines[1].starts_with("{\"type\":\"trace\",\"trace\":1,\"root\":\"stage\",\"spans\":1"),
+            "{}",
+            lines[1]
+        );
+        assert!(lines[2].starts_with("{\"type\":\"snapshot\""));
+        assert!(lines[2].contains("\"span.stage.calls\":1"));
+    }
+
+    #[test]
+    fn worker_spans_from_pool_threads_build_one_deterministic_tree() {
+        let t = Telemetry::new();
+        {
+            let root = t.span("ingest");
+            assert_eq!(root.trace_id(), Some(1));
+            let ctx = t.trace_context().expect("root span is open");
+            let handles: Vec<_> = (0..4u64)
+                .map(|rank| {
+                    let t = t.clone();
+                    std::thread::spawn(move || {
+                        let span = t.worker_span(Some(&ctx), "shard", rank);
+                        assert_eq!(span.path(), Some("ingest/shard"));
+                        assert_eq!(span.trace_id(), Some(1));
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        }
+        let tree = t.trace_tree(1).expect("finished root is retained");
+        assert_eq!(tree.skeleton(), t.last_trace().unwrap().skeleton());
+        assert_eq!(tree.span_count(), 5);
+        assert_eq!(tree.root.name, "ingest");
+        assert_eq!(tree.root.children.len(), 4);
+        // Histograms record under the nested path even from workers.
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.counters["span.ingest/shard.calls"], 4);
+    }
+
+    #[test]
+    fn a_poisoned_tracing_plane_recovers_instead_of_cascading() {
+        let t = Telemetry::new();
+        // Poison the recorder's mutex by panicking mid-span on another
+        // thread (the unwind drops the span guard while the lock is not
+        // held, so we panic while *holding* it via a scoped hook: the
+        // simplest reliable poisoning is to panic inside the thread with
+        // an open span — its Drop runs during the unwind and the trace
+        // plane must absorb whatever state that leaves behind).
+        let clone = t.clone();
+        let _ = std::thread::spawn(move || {
+            let _span = clone.span("doomed");
+            panic!("injected: observed stage dies mid-span");
+        })
+        .join();
+        // The driver keeps tracing: spans still open, close, and finish
+        // whole trees without panicking on a poisoned lock.
+        {
+            let root = t.span("after");
+            assert_eq!(root.path(), Some("after"));
+        }
+        assert_eq!(t.last_trace().unwrap().root.name, "after");
     }
 }

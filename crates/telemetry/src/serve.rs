@@ -1,14 +1,20 @@
 //! The live exposition server: a minimal std-only blocking-TCP HTTP
 //! endpoint behind the CLI's global `--metrics-listen ADDR` flag.
 //!
-//! Four routes, all read-only views of one [`Telemetry`] handle:
+//! All routes are read-only views of one [`Telemetry`] handle:
 //!
-//! | route       | body                                                   |
-//! |-------------|--------------------------------------------------------|
-//! | `/metrics`  | Prometheus text format of the metrics snapshot         |
-//! | `/snapshot` | the JSONL sink's `snapshot` object, as one JSON body   |
-//! | `/healthz`  | loop status: phase, last window, fallback reason       |
-//! | `/events`   | NDJSON stream of live telemetry events (off the bus)   |
+//! | route               | body                                                   |
+//! |---------------------|--------------------------------------------------------|
+//! | `/metrics`          | Prometheus text format of the metrics snapshot         |
+//! | `/snapshot`         | the JSONL sink's `snapshot` object, as one JSON body   |
+//! | `/healthz`          | loop status: phase, last window, fallback reason       |
+//! | `/events`           | NDJSON stream of live telemetry events (off the bus)   |
+//! | `/traces`           | summaries of the retained finished trace trees         |
+//! | `/trace/<id>`       | one finished trace tree as nested JSON                 |
+//! | `/trace/<id>/profile` | the same tree as a flamegraph-style text profile     |
+//! | `/trace/last`       | the most recently finished trace tree                  |
+//! | `/convergence`      | NDJSON stream of live `convergence` events only        |
+//! | `/convergence/sse`  | the same stream with Server-Sent-Events framing        |
 //!
 //! The server is deliberately primitive — one accept thread polling a
 //! non-blocking listener, one short-lived thread per connection, HTTP/1.0
@@ -169,30 +175,38 @@ fn handle_connection(
         return Ok(());
     }
     let mut stream = stream;
-    match respond_telemetry(&request, stream.try_clone()?, telemetry, stop) {
+    match respond_telemetry(&request, stream.try_clone()?, telemetry, stop, None) {
         Some(result) => result,
         None => write_response(
             &mut stream,
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found: /metrics /snapshot /healthz /events\n",
+            "not found: /metrics /snapshot /healthz /events /traces /trace/<id> /convergence\n",
         ),
     }
 }
 
 /// Serves the shared telemetry routes (`GET /metrics`, `/snapshot`,
-/// `/healthz`, `/events`) for `request`, or returns `None` when the
-/// request doesn't match one — the caller then applies its own routing.
-/// `stop` lets long-lived `/events` streams notice server shutdown.
+/// `/healthz`, `/events`, `/traces`, `/trace/...`, `/convergence[/sse]`)
+/// for `request`, or returns `None` when the request doesn't match one —
+/// the caller then applies its own routing. `stop` lets long-lived
+/// streams notice server shutdown. When the caller assigned the request
+/// an id (the policy daemon does), `request_id` is echoed back on every
+/// response as an `X-Request-Id` header.
 pub fn respond_telemetry(
     request: &HttpRequest,
     stream: TcpStream,
     telemetry: &Telemetry,
     stop: &AtomicBool,
+    request_id: Option<&str>,
 ) -> Option<io::Result<()>> {
     if request.method != "GET" {
         return None;
     }
+    let rid_header: Vec<(&str, &str)> = match request_id {
+        Some(rid) => vec![("X-Request-Id", rid)],
+        None => Vec::new(),
+    };
     let mut stream = stream;
     match request.path.as_str() {
         "/metrics" => {
@@ -200,11 +214,12 @@ pub fn respond_telemetry(
                 .snapshot()
                 .map(|snap| render_prometheus(&snap))
                 .unwrap_or_default();
-            Some(write_response(
+            Some(write_response_with(
                 &mut stream,
                 "200 OK",
                 "text/plain; version=0.0.4; charset=utf-8",
                 &body,
+                &rid_header,
             ))
         }
         "/snapshot" => {
@@ -212,11 +227,12 @@ pub fn respond_telemetry(
                 .snapshot()
                 .map(|snap| snapshot_to_json(&snap))
                 .unwrap_or_else(|| "{\"type\":\"snapshot\"}".to_string());
-            Some(write_response(
+            Some(write_response_with(
                 &mut stream,
                 "200 OK",
                 "application/json",
                 &body,
+                &rid_header,
             ))
         }
         "/healthz" => {
@@ -225,15 +241,110 @@ pub fn respond_telemetry(
                 .map(|h| h.snapshot())
                 .unwrap_or_default()
                 .to_json();
-            Some(write_response(
+            Some(write_response_with(
                 &mut stream,
                 "200 OK",
                 "application/json",
                 &body,
+                &rid_header,
             ))
         }
-        "/events" => Some(stream_events(stream, telemetry, stop)),
-        _ => None,
+        "/events" => Some(stream_bus(stream, telemetry, stop, None, false)),
+        "/convergence" => Some(stream_bus(
+            stream,
+            telemetry,
+            stop,
+            Some(CONVERGENCE_PREFIX),
+            false,
+        )),
+        "/convergence/sse" => Some(stream_bus(
+            stream,
+            telemetry,
+            stop,
+            Some(CONVERGENCE_PREFIX),
+            true,
+        )),
+        "/traces" => {
+            let mut body = String::from("{\"type\":\"traces\",\"traces\":[");
+            for (i, tree) in telemetry.trace_trees().iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                use std::fmt::Write as _;
+                let _ = write!(
+                    body,
+                    "{{\"trace\":{},\"root\":",
+                    tree.trace
+                );
+                crate::event::write_json_str(&mut body, &tree.root.name);
+                let _ = write!(
+                    body,
+                    ",\"spans\":{},\"ms\":{:?}}}",
+                    tree.span_count(),
+                    tree.root.ms
+                );
+            }
+            body.push_str("]}");
+            Some(write_response_with(
+                &mut stream,
+                "200 OK",
+                "application/json",
+                &body,
+                &rid_header,
+            ))
+        }
+        "/trace/last" => Some(match telemetry.last_trace() {
+            Some(tree) => write_response_with(
+                &mut stream,
+                "200 OK",
+                "application/json",
+                &tree.to_json(),
+                &rid_header,
+            ),
+            None => write_response_with(
+                &mut stream,
+                "404 Not Found",
+                "application/json",
+                "{\"type\":\"error\",\"reason\":\"no_traces\"}",
+                &rid_header,
+            ),
+        }),
+        path => {
+            let spec = path.strip_prefix("/trace/")?;
+            let (id_part, profile) = match spec.strip_suffix("/profile") {
+                Some(id_part) => (id_part, true),
+                None => (spec, false),
+            };
+            // Request ids are `req-<trace>`; accept both spellings.
+            let id = id_part
+                .strip_prefix("req-")
+                .unwrap_or(id_part)
+                .parse::<u64>()
+                .ok()?;
+            Some(match telemetry.trace_tree(id) {
+                Some(tree) if profile => write_response_with(
+                    &mut stream,
+                    "200 OK",
+                    "text/plain; charset=utf-8",
+                    &tree.profile_text(),
+                    &rid_header,
+                ),
+                Some(tree) => write_response_with(
+                    &mut stream,
+                    "200 OK",
+                    "application/json",
+                    &tree.to_json(),
+                    &rid_header,
+                ),
+                None => write_response_with(
+                    &mut stream,
+                    "404 Not Found",
+                    "application/json",
+                    "{\"type\":\"error\",\"reason\":\"unknown_trace\"}",
+                    &rid_header,
+                ),
+            })
+        }
     }
 }
 
@@ -295,22 +406,55 @@ pub fn write_response(
     content_type: &str,
     body: &str,
 ) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_response_with(stream, status, content_type, body, &[])
+}
+
+/// [`write_response`] with extra response headers (name, value) — the
+/// policy daemon uses this to stamp `X-Request-Id` on every response.
+///
+/// # Errors
+///
+/// Propagates the underlying socket write error.
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        use std::fmt::Write as _;
+        let _ = write!(head, "{name}: {value}\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
 }
 
-/// Streams NDJSON events off the bus until the bus closes, the client
-/// disconnects, or the server shuts down. The first line is the current
-/// health record, so late subscribers know where the loop stands.
-fn stream_events(
+/// Serialized-line prefix of `convergence` events — [`crate::Event`]
+/// writes `"type"` first, so a stream can filter without parsing.
+const CONVERGENCE_PREFIX: &str = "{\"type\":\"convergence\"";
+
+/// Streams events off the bus until the bus closes, the client
+/// disconnects, or the server shuts down.
+///
+/// With `filter: None` this is the `/events` NDJSON stream: every bus
+/// line, preceded by a health-record hello so late subscribers know
+/// where the loop stands. With a filter prefix only matching lines are
+/// forwarded (no hello — the stream then carries exactly one event
+/// shape, e.g. `/convergence`). With `sse: true`, lines are framed as
+/// Server-Sent Events (`data: <line>\n\n`, `text/event-stream`).
+fn stream_bus(
     mut stream: TcpStream,
     telemetry: &Telemetry,
     stop: &AtomicBool,
+    filter: Option<&str>,
+    sse: bool,
 ) -> io::Result<()> {
     let Some(bus) = telemetry.bus() else {
         return write_response(
@@ -321,19 +465,35 @@ fn stream_events(
         );
     };
     let subscription = bus.subscribe();
+    let content_type = if sse {
+        "text/event-stream"
+    } else {
+        "application/x-ndjson"
+    };
     stream.write_all(
-        b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n",
+        format!("HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nConnection: close\r\n\r\n")
+            .as_bytes(),
     )?;
-    if let Some(health) = telemetry.health() {
-        stream.write_all(health.snapshot().to_json().as_bytes())?;
-        stream.write_all(b"\n")?;
+    if filter.is_none() && !sse {
+        if let Some(health) = telemetry.health() {
+            stream.write_all(health.snapshot().to_json().as_bytes())?;
+            stream.write_all(b"\n")?;
+        }
     }
     stream.flush()?;
     loop {
         match subscription.recv_timeout(EVENT_POLL) {
             Some(line) => {
+                if let Some(prefix) = filter {
+                    if !line.starts_with(prefix) {
+                        continue;
+                    }
+                }
+                if sse {
+                    stream.write_all(b"data: ")?;
+                }
                 stream.write_all(line.as_bytes())?;
-                stream.write_all(b"\n")?;
+                stream.write_all(if sse { b"\n\n".as_slice() } else { b"\n".as_slice() })?;
                 stream.flush()?;
             }
             None => {
@@ -520,6 +680,135 @@ mod tests {
                 .any(|l| l.starts_with("{\"type\":\"window\"")),
             "{lines:?}"
         );
+    }
+
+    #[test]
+    fn trace_endpoints_serve_finished_trees_and_typed_404s() {
+        let telemetry = test_telemetry();
+        {
+            let _root = telemetry.span("request");
+            let _child = telemetry.span("advise");
+        }
+        let trace = telemetry.last_trace().expect("finished").trace;
+        let server = MetricsServer::bind("127.0.0.1:0", telemetry).expect("bind");
+        let addr = server.local_addr();
+        let (head, body) = http_get(addr, &format!("/trace/{trace}"));
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(
+            body.starts_with(&format!(
+                "{{\"type\":\"trace_tree\",\"trace\":{trace},\"spans\":2,"
+            )),
+            "{body}"
+        );
+        assert!(body.contains("\"name\":\"advise\""), "{body}");
+        // The req- prefixed spelling (what X-Request-Id carries) works.
+        let (head, _) = http_get(addr, &format!("/trace/req-{trace}"));
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let (head, body) = http_get(addr, &format!("/trace/{trace}/profile"));
+        assert!(head.contains("text/plain"), "{head}");
+        assert!(body.contains("request"), "{body}");
+        assert!(body.contains("advise"), "{body}");
+        let (_, body) = http_get(addr, "/trace/last");
+        assert!(body.contains("\"root\":{\"id\":1,\"name\":\"request\""), "{body}");
+        let (_, body) = http_get(addr, "/traces");
+        assert!(body.starts_with("{\"type\":\"traces\""), "{body}");
+        assert!(body.contains("\"root\":\"request\""), "{body}");
+        let (head, body) = http_get(addr, "/trace/999999");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        assert_eq!(body, "{\"type\":\"error\",\"reason\":\"unknown_trace\"}");
+        // Garbage ids fall through to the generic 404.
+        let (head, _) = http_get(addr, "/trace/not-a-number");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+
+    #[test]
+    fn convergence_stream_filters_to_convergence_events_only() {
+        let telemetry = test_telemetry();
+        let server = MetricsServer::bind("127.0.0.1:0", telemetry.clone()).expect("bind");
+        let addr = server.local_addr();
+        let reader = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            write!(stream, "GET /convergence HTTP/1.1\r\n\r\n").unwrap();
+            let mut lines = Vec::new();
+            for line in BufReader::new(stream).lines() {
+                match line {
+                    Ok(l) if !l.is_empty() => lines.push(l),
+                    Ok(_) => {}
+                    Err(_) => break,
+                }
+            }
+            lines
+        });
+        let bus = telemetry.bus().unwrap().clone();
+        while !bus.has_subscribers() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        telemetry.emit(&crate::Event::new("window").with("window", 0u64));
+        telemetry.emit(
+            &crate::Event::new("convergence")
+                .with("window", 0u64)
+                .with("error_type", "type3")
+                .with("verdict", "converged"),
+        );
+        bus.close();
+        let lines = reader.join().unwrap();
+        let body: Vec<&String> = lines.iter().filter(|l| l.starts_with('{')).collect();
+        assert_eq!(body.len(), 1, "only the convergence event: {lines:?}");
+        assert!(
+            body[0].starts_with("{\"type\":\"convergence\",\"window\":0"),
+            "{lines:?}"
+        );
+    }
+
+    #[test]
+    fn sse_stream_frames_convergence_lines_as_events() {
+        let telemetry = test_telemetry();
+        let server = MetricsServer::bind("127.0.0.1:0", telemetry.clone()).expect("bind");
+        let addr = server.local_addr();
+        let reader = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            write!(stream, "GET /convergence/sse HTTP/1.1\r\n\r\n").unwrap();
+            let mut out = String::new();
+            let _ = stream.read_to_string(&mut out);
+            out
+        });
+        let bus = telemetry.bus().unwrap().clone();
+        while !bus.has_subscribers() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        telemetry.emit(&crate::Event::new("convergence").with("window", 1u64));
+        bus.close();
+        let out = reader.join().unwrap();
+        assert!(out.contains("Content-Type: text/event-stream"), "{out}");
+        assert!(
+            out.contains("data: {\"type\":\"convergence\",\"window\":1}\n\n"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn responses_echo_an_assigned_request_id() {
+        let telemetry = test_telemetry();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            write!(stream, "GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+            let mut out = String::new();
+            stream.read_to_string(&mut out).unwrap();
+            out
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let request = read_request(&mut reader).unwrap().expect("parsable");
+        let stop = AtomicBool::new(false);
+        respond_telemetry(&request, stream, &telemetry, &stop, Some("req-7"))
+            .expect("telemetry route")
+            .expect("write ok");
+        // Both socket clones must drop before the client sees EOF.
+        drop(reader);
+        let out = client.join().unwrap();
+        assert!(out.contains("X-Request-Id: req-7\r\n"), "{out}");
     }
 
     #[test]

@@ -4,16 +4,21 @@
 //! Prometheus text, `/healthz` tracks the loop, and `/events` streams
 //! the per-window summaries live.
 
-use std::io::{Read, Write};
+use std::cell::RefCell;
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::Duration;
 
 use recovery_core::fault::LoopFaultPlan;
 use recovery_core::persist::policy_to_text;
-use recovery_core::pipeline::{run_continuous_loop_full, ContinuousLoopConfig};
+use recovery_core::pipeline::{
+    run_continuous_loop_full, run_continuous_loop_instrumented, ContinuousLoopConfig, LoopRun,
+};
 use recovery_core::trainer::TrainerConfig;
+use recovery_diagnostics::DiagnosticsRecorder;
 use recovery_simlog::{CatalogConfig, ClusterConfig, FaultCatalog, SimDuration};
-use recovery_telemetry::{EventBus, MetricsServer, Telemetry};
+use recovery_telemetry::{Event, EventBus, MetricsServer, Telemetry};
 
 fn small_cluster() -> ClusterConfig {
     ClusterConfig {
@@ -348,4 +353,283 @@ fn healthz_keeps_last_good_policy_version_through_degraded_windows() {
     health.set_policy_version(4);
     let (_, body) = http_get(server.local_addr(), "/healthz");
     assert!(body.contains("\"policy_version\":4"), "{body}");
+}
+
+/// Mirror of the CLI's convergence streaming: one deterministic
+/// `convergence` event per error type from a finished window's
+/// recorder, every field wall-clock-free.
+fn emit_convergence(telemetry: &Telemetry, window: usize, recorder: &DiagnosticsRecorder) {
+    for (label, traces) in recorder.traces() {
+        for trace in &traces {
+            telemetry.emit(
+                &Event::new("convergence")
+                    .with("window", window as u64)
+                    .with("error_type", label.as_str())
+                    .with("verdict", trace.verdict())
+                    .with("sweeps", trace.sweeps)
+                    .with("converged", trace.converged)
+                    .with("final_q_delta", trace.final_q_delta)
+                    .with("last_calm_sweeps", trace.last_calm_sweeps)
+                    .with("episodes", trace.episode_costs.episodes)
+                    .with("episode_steps", trace.episode_steps)
+                    .with("max_episode_steps", trace.max_episode_steps)
+                    .with("processes", trace.processes)
+                    .with("replay_attempts", trace.replay_attempts)
+                    .with("replay_cured", trace.replay_cured)
+                    .with("replay_from_log", trace.replay_from_log),
+            );
+        }
+    }
+}
+
+/// Runs the loop with the full instrumentation the CLI attaches: a fresh
+/// per-window `DiagnosticsRecorder` whose traces stream as `convergence`
+/// events when each window publishes.
+fn run_traced_loop(
+    catalog: &FaultCatalog,
+    config: &ContinuousLoopConfig,
+    telemetry: &Telemetry,
+) -> LoopRun {
+    let slot: RefCell<Option<Arc<DiagnosticsRecorder>>> = RefCell::new(None);
+    run_continuous_loop_instrumented(
+        catalog,
+        config,
+        telemetry,
+        &mut |_window| {
+            let recorder = DiagnosticsRecorder::new();
+            let handle = recorder.handle();
+            *slot.borrow_mut() = Some(recorder);
+            handle
+        },
+        &mut |publication| {
+            if let Some(recorder) = slot.borrow_mut().take() {
+                emit_convergence(telemetry, publication.window, &recorder);
+            }
+        },
+    )
+}
+
+/// The determinism contract of the trace layer itself: the skeletons of
+/// every finished span tree (names and nesting, no ids, no wall clock)
+/// are byte-identical whether the loop ran on 1 worker thread or 4 —
+/// worker spans carry explicit ranks, so trees are collected in rank
+/// order, not arrival order.
+#[test]
+fn trace_tree_skeletons_are_byte_identical_across_thread_counts() {
+    let catalog = small_catalog();
+    let skeletons_at = |threads: usize| {
+        let telemetry = Telemetry::with_parts(None, Some(EventBus::default()));
+        let _ = run_continuous_loop_full(&catalog, &loop_config(3, threads), &telemetry);
+        telemetry
+            .trace_trees()
+            .iter()
+            .map(recovery_telemetry::TraceTree::skeleton)
+            .collect::<Vec<_>>()
+    };
+    let one = skeletons_at(1);
+    let four = skeletons_at(4);
+    assert!(!one.is_empty(), "the loop finished no traces");
+    assert_eq!(one, four, "trace trees depend on the thread count");
+    // The trees really are cross-thread: process splitting fans out over
+    // its fixed shard count under the driver's span, and retraining
+    // nests one ranked worker span per error type.
+    let split = one
+        .iter()
+        .find(|s| s.starts_with("#1 split_shards"))
+        .expect("a split_shards trace");
+    assert_eq!(
+        split
+            .lines()
+            .filter(|l| l.starts_with("  ") && l.contains("shard"))
+            .count(),
+        recovery_core::ingest::SPLIT_SHARDS,
+        "{split}"
+    );
+    let retrain = one
+        .iter()
+        .find(|s| s.starts_with("#1 retrain"))
+        .expect("a retrain trace");
+    assert!(
+        retrain.lines().any(|l| l.starts_with("  ") && l.contains("type")),
+        "retrain trace has no nested per-type worker spans: {retrain}"
+    );
+}
+
+/// The headline acceptance bar: a loop with the works attached — trace
+/// recording, per-window diagnostics recorders, convergence events, an
+/// exposition server with a live `/convergence` streamer — trains a
+/// policy byte-identical to a fully disabled run, and the convergence
+/// stream itself is byte-identical across thread counts.
+#[test]
+fn traced_streamed_loop_trains_byte_identical_policies() {
+    let catalog = small_catalog();
+    let baseline = run_continuous_loop_full(&catalog, &loop_config(3, 2), &Telemetry::disabled());
+    let baseline_policy = baseline
+        .policy
+        .as_ref()
+        .map(|p| policy_to_text(p, catalog.symptoms()))
+        .expect("the baseline loop trains a policy");
+
+    let mut convergence_streams: Vec<Vec<String>> = Vec::new();
+    for threads in [1, 4] {
+        let bus = EventBus::default();
+        let sub = bus.subscribe_with_capacity(4096);
+        let telemetry = Telemetry::with_parts(None, Some(bus.clone()));
+        let server = MetricsServer::bind("127.0.0.1:0", telemetry.clone()).expect("bind");
+        let addr = server.local_addr();
+        // A live NDJSON subscriber on /convergence for the whole run.
+        let streamer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(60)))
+                .unwrap();
+            write!(stream, "GET /convergence HTTP/1.1\r\n\r\n").unwrap();
+            let mut body = String::new();
+            stream.read_to_string(&mut body).expect("stream to EOF");
+            body
+        });
+        while !bus.has_subscribers() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let run = run_traced_loop(&catalog, &loop_config(3, threads), &telemetry);
+        telemetry.finish();
+        bus.close();
+        let observed_policy = run
+            .policy
+            .as_ref()
+            .map(|p| policy_to_text(p, catalog.symptoms()))
+            .expect("the traced loop trains a policy");
+        assert_eq!(
+            observed_policy, baseline_policy,
+            "tracing + convergence streaming changed policy bytes at {threads} threads"
+        );
+        assert_eq!(run.outcomes, baseline.outcomes);
+
+        let streamed = streamer.join().expect("streamer thread");
+        let streamed_lines: Vec<&str> = streamed
+            .lines()
+            .filter(|l| l.starts_with('{'))
+            .collect();
+        assert!(!streamed_lines.is_empty(), "nothing streamed");
+        assert!(
+            streamed_lines
+                .iter()
+                .all(|l| l.starts_with("{\"type\":\"convergence\"")),
+            "/convergence leaked non-convergence events: {streamed_lines:?}"
+        );
+        convergence_streams.push(
+            sub.drain()
+                .into_iter()
+                .filter(|l| l.starts_with("{\"type\":\"convergence\""))
+                .collect(),
+        );
+    }
+    assert!(!convergence_streams[0].is_empty());
+    assert_eq!(
+        convergence_streams[0], convergence_streams[1],
+        "convergence event bytes depend on the thread count"
+    );
+    // One event per (retraining window, error type), carrying a verdict.
+    assert!(
+        convergence_streams[0]
+            .iter()
+            .all(|l| l.contains("\"verdict\":")),
+        "{:?}",
+        convergence_streams[0]
+    );
+}
+
+/// `/traces`, `/trace/<id>`, and `/trace/<id>/profile` expose the loop's
+/// finished span trees over the exposition server, and the JSON really
+/// nests (children arrays inside children arrays).
+#[test]
+fn trace_endpoints_expose_nested_span_trees_from_a_live_loop() {
+    let catalog = small_catalog();
+    let telemetry = Telemetry::with_parts(None, Some(EventBus::default()));
+    let server = MetricsServer::bind("127.0.0.1:0", telemetry.clone()).expect("bind");
+    let _ = run_continuous_loop_full(&catalog, &loop_config(2, 2), &telemetry);
+
+    let (head, listing) = http_get(server.local_addr(), "/traces");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(listing.starts_with("{\"type\":\"traces\""), "{listing}");
+
+    let (head, last) = http_get(server.local_addr(), "/trace/last");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(last.starts_with("{\"type\":\"trace_tree\""), "{last}");
+    let trace_id: u64 = last
+        .split_once("\"trace\":")
+        .and_then(|(_, rest)| rest.split(',').next())
+        .and_then(|n| n.parse().ok())
+        .expect("trace id in /trace/last");
+
+    let (head, by_id) = http_get(server.local_addr(), &format!("/trace/{trace_id}"));
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(by_id, last, "/trace/<id> disagrees with /trace/last");
+    // Find a tree with real nesting: the retrain trace has per-type
+    // children, so some tree must contain a non-empty children array.
+    let nested = telemetry
+        .trace_trees()
+        .iter()
+        .map(|t| {
+            let (_, body) = http_get(server.local_addr(), &format!("/trace/{}", t.trace));
+            body
+        })
+        .find(|body| body.contains("\"children\":[{"))
+        .expect("no endpoint-served tree has nested children");
+    assert_eq!(
+        nested.matches('{').count(),
+        nested.matches('}').count(),
+        "unbalanced JSON: {nested}"
+    );
+
+    let (head, profile) = http_get(server.local_addr(), &format!("/trace/{trace_id}/profile"));
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains("text/plain"), "{head}");
+    assert!(profile.starts_with("trace "), "{profile}");
+    assert!(profile.contains("ms"), "{profile}");
+
+    let (head, missing) = http_get(server.local_addr(), "/trace/999999");
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    assert!(missing.contains("unknown_trace"), "{missing}");
+}
+
+/// `/convergence/sse` frames the same stream as server-sent events.
+#[test]
+fn convergence_sse_frames_lines_as_data_events() {
+    let telemetry = Telemetry::with_parts(None, Some(EventBus::default()));
+    let server = MetricsServer::bind("127.0.0.1:0", telemetry.clone()).expect("bind");
+    let addr = server.local_addr();
+    let bus = telemetry.bus().unwrap().clone();
+    let streamer = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        write!(stream, "GET /convergence/sse HTTP/1.1\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut head = String::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read header line");
+            if line == "\r\n" {
+                break;
+            }
+            head.push_str(&line);
+        }
+        let mut data = String::new();
+        reader.read_line(&mut data).expect("read data frame");
+        (head, data)
+    });
+    while !bus.has_subscribers() {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    telemetry.emit(&Event::new("window").with("window", 0u64));
+    telemetry.emit(&Event::new("convergence").with("window", 0u64).with("verdict", "converged"));
+    bus.close();
+    let (head, data) = streamer.join().expect("streamer thread");
+    assert!(head.contains("text/event-stream"), "{head}");
+    assert!(
+        data.starts_with("data: {\"type\":\"convergence\""),
+        "window event leaked into the SSE convergence stream or frame is malformed: {data}"
+    );
 }

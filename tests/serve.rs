@@ -30,7 +30,7 @@ use recovery_serve::{publish_snapshot, PolicySnapshot, PolicyStore, ServeConfig,
 use recovery_simlog::{
     CatalogConfig, ClusterConfig, FaultCatalog, RepairAction, SimDuration, SymptomCatalog,
 };
-use recovery_telemetry::{EventBus, Telemetry};
+use recovery_telemetry::{EventBus, Telemetry, DURATION_MS_BOUNDS};
 
 fn small_cluster() -> ClusterConfig {
     ClusterConfig {
@@ -348,6 +348,92 @@ fn degraded_windows_keep_last_good_policy_serving() {
     assert!(health.contains("\"phase\":\"completed\""), "{health}");
     assert!(health.contains("\"policy_version\":2"), "{health}");
     assert!(health.contains("\"fallbacks\":1"), "{health}");
+}
+
+/// Request identity under concurrency: a burst of parallel clients over
+/// mixed routes gets globally unique `X-Request-Id`s, each resolvable at
+/// `GET /trace/<id>` to a span tree rooted at `request` with the route's
+/// span nested inside, and the per-route latency histograms exactly
+/// partition the aggregate `serve.request.ms` count.
+#[test]
+fn request_ids_are_unique_and_route_histograms_partition_the_aggregate() {
+    let telemetry = Telemetry::with_parts(None, Some(EventBus::default()));
+    let mut symptoms = SymptomCatalog::default();
+    symptoms.intern("error:Prop");
+    let store = PolicyStore::new();
+    store.publish(tiny_snapshot(&symptoms, 0));
+    let daemon = ServeDaemon::bind(
+        "127.0.0.1:0",
+        store,
+        telemetry.clone(),
+        ServeConfig::default().with_max_inflight(64),
+    )
+    .expect("bind daemon");
+    let addr = daemon.local_addr();
+
+    let request_id = |head: &str| {
+        head.lines()
+            .find_map(|line| line.strip_prefix("X-Request-Id: "))
+            .unwrap_or_else(|| panic!("no X-Request-Id in {head}"))
+            .trim()
+            .to_string()
+    };
+    let handles: Vec<_> = (0..12)
+        .map(|i| {
+            std::thread::spawn(move || match i % 3 {
+                0 => get(addr, "/policy"),
+                1 => post(addr, "/advise", "not json"),
+                _ => get(addr, "/healthz"),
+            })
+        })
+        .collect();
+    let ids: Vec<String> = handles
+        .into_iter()
+        .map(|h| request_id(&h.join().expect("client").0))
+        .collect();
+    let distinct: std::collections::BTreeSet<&String> = ids.iter().collect();
+    assert_eq!(distinct.len(), ids.len(), "duplicate request ids: {ids:?}");
+
+    // Quiesce, then balance: the three route histograms partition the
+    // aggregate, and everything agrees with the serve counters.
+    let registry = telemetry.registry().unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while registry.counter("serve.served").get() < 12 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let route_count = |route: &str| {
+        registry
+            .histogram(&format!("serve.route.{route}.ms"), &DURATION_MS_BOUNDS)
+            .count()
+    };
+    assert_eq!(route_count("policy"), 4);
+    assert_eq!(route_count("advise"), 4);
+    assert_eq!(route_count("healthz"), 4);
+    assert_eq!(
+        registry
+            .histogram("serve.request.ms", &DURATION_MS_BOUNDS)
+            .count(),
+        12,
+        "per-route histograms must partition the aggregate"
+    );
+    assert_eq!(registry.counter("serve.requests").get(), 12);
+
+    // Every id resolves to the finished request's own trace, with the
+    // route span nested under the request span.
+    for (i, id) in ids.iter().enumerate() {
+        let (head, body) = get(addr, &format!("/trace/{id}"));
+        assert!(head.starts_with("HTTP/1.1 200"), "{id}: {head}");
+        assert!(body.contains("\"name\":\"request\""), "{body}");
+        let route = match i % 3 {
+            0 => "policy",
+            1 => "advise",
+            _ => "healthz",
+        };
+        assert!(
+            body.contains(&format!("\"name\":\"{route}\"")),
+            "{id} missing nested {route} span: {body}"
+        );
+    }
 }
 
 /// A tiny distinct snapshot per publish: one Q entry whose value (and

@@ -299,3 +299,92 @@ fn temperature_anneals_monotonically_and_sweeps_match() {
     );
     assert_eq!(*capture.sweeps.lock().unwrap(), stats.sweeps);
 }
+
+/// Satellite of the tracing layer: `flatjson` must round-trip the exact
+/// event shapes the bus now emits — `trace` trees, `access` logs with
+/// hostile strings, `convergence` summaries — recovering every flat
+/// field and skimming (not silently stringifying) nested values.
+#[test]
+fn flatjson_round_trips_the_bus_event_shapes() {
+    use recovery_telemetry::flatjson::{get, parse_line, Field};
+
+    // A finished span emits `span` then `trace`; capture the real bytes
+    // off a live bus rather than hand-writing the shapes.
+    let bus = EventBus::default();
+    let sub = bus.subscribe();
+    let telemetry = Telemetry::with_parts(None, Some(bus));
+    drop(telemetry.span("stage"));
+    let lines = sub.drain();
+    let trace_line = lines
+        .iter()
+        .find(|l| l.starts_with("{\"type\":\"trace\""))
+        .expect("a trace event");
+    let fields = parse_line(trace_line).expect("trace event parses");
+    assert_eq!(get(&fields, "type").and_then(Field::as_str), Some("trace"));
+    assert_eq!(get(&fields, "trace").and_then(Field::as_f64), Some(1.0));
+    assert_eq!(get(&fields, "root").and_then(Field::as_str), Some("stage"));
+    assert_eq!(get(&fields, "spans").and_then(Field::as_f64), Some(1.0));
+    assert!(get(&fields, "ms").and_then(Field::as_f64).is_some());
+
+    // An access log whose strings carry every escape the emitter knows:
+    // quotes, backslashes, newlines, tabs, and a control byte.
+    let hostile = "/trace/a\"}{\"\\x\n\tb\u{1}";
+    let access = Event::new("access")
+        .with("id", "req-9")
+        .with("method", "GET")
+        .with("path", hostile)
+        .with("route", "trace")
+        .with("ms", 0.25)
+        .to_json();
+    let fields = parse_line(&access).expect("access event parses");
+    assert_eq!(get(&fields, "type").and_then(Field::as_str), Some("access"));
+    assert_eq!(get(&fields, "id").and_then(Field::as_str), Some("req-9"));
+    assert_eq!(
+        get(&fields, "path").and_then(Field::as_str),
+        Some(hostile),
+        "hostile escapes must survive the emit → parse round trip"
+    );
+    assert_eq!(get(&fields, "ms").and_then(Field::as_f64), Some(0.25));
+
+    // A convergence summary: numbers (including a tiny float) and a
+    // boolean round-trip exactly.
+    let convergence = Event::new("convergence")
+        .with("window", 2u64)
+        .with("error_type", "type11")
+        .with("verdict", "converged")
+        .with("sweeps", 512u64)
+        .with("converged", true)
+        .with("final_q_delta", 0.015625)
+        .to_json();
+    let fields = parse_line(&convergence).expect("convergence event parses");
+    assert_eq!(
+        get(&fields, "error_type").and_then(Field::as_str),
+        Some("type11")
+    );
+    assert_eq!(get(&fields, "sweeps").and_then(Field::as_f64), Some(512.0));
+    assert_eq!(
+        get(&fields, "converged").and_then(Field::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        get(&fields, "final_q_delta").and_then(Field::as_f64),
+        Some(0.015625)
+    );
+
+    // A full trace tree (`GET /trace/<id>` body) is a *nested* document:
+    // the flat parser skims the subtree as an opaque Object — every
+    // typed accessor refuses it — instead of misreading its bytes.
+    drop(telemetry.span("outer"));
+    let tree = telemetry.last_trace().expect("a finished trace");
+    let fields = parse_line(&tree.to_json()).expect("tree JSON is one object");
+    let root = get(&fields, "root").expect("root field");
+    assert!(matches!(root, Field::Object), "{root:?}");
+    assert_eq!(root.as_str(), None);
+    assert_eq!(root.as_f64(), None);
+    assert_eq!(root.as_bool(), None);
+
+    // Truncated or trailing-garbage lines (a torn tail mid-write) are
+    // rejected outright, not half-parsed.
+    assert!(parse_line(&access[..access.len() - 2]).is_none());
+    assert!(parse_line(&format!("{access}x")).is_none());
+}
